@@ -1,0 +1,216 @@
+//! Micro-benchmarks: simulator throughput and power-model cost.
+//!
+//! These measure the *simulator* (accesses per second, organization
+//! search cost), complementing the experiment benches that regenerate the
+//! paper's tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
+use molcache_power::cacti::analyze;
+use molcache_power::tech::TechNode;
+use molcache_sim::replacement::{Policy, SetPolicy};
+use molcache_sim::{CacheConfig, CacheModel, Request, SetAssocCache};
+use molcache_trace::gen::TraceSource;
+use molcache_trace::presets::Benchmark;
+use molcache_trace::rng::Rng;
+use molcache_trace::Asid;
+
+const BATCH: usize = 10_000;
+
+fn trace(n: usize) -> Vec<Request> {
+    let mut src = Benchmark::Parser.source(Asid::new(1), 3);
+    src.collect_n(n).into_iter().map(Request::from).collect()
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for bench in [Benchmark::Ammp, Benchmark::Mcf, Benchmark::Crc] {
+        group.bench_function(bench.name(), |b| {
+            let mut src = bench.source(Asid::new(1), 7);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    std::hint::black_box(src.next_access());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_assoc_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_assoc_access");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let reqs = trace(BATCH);
+    for assoc in [1u32, 4, 8] {
+        group.bench_function(format!("1MB_{assoc}way"), |b| {
+            let mut cache =
+                SetAssocCache::lru(CacheConfig::new(1 << 20, assoc, 64).unwrap());
+            b.iter(|| {
+                for req in &reqs {
+                    std::hint::black_box(cache.access(*req));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_molecular_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("molecular_access");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let reqs = trace(BATCH);
+    for policy in [
+        RegionPolicy::Random,
+        RegionPolicy::Randy,
+        RegionPolicy::LruDirect,
+    ] {
+        group.bench_function(format!("1MB_{policy}"), |b| {
+            let config = MolecularConfig::builder()
+                .molecule_size(8 * 1024)
+                .tile_molecules(32)
+                .tiles_per_cluster(4)
+                .clusters(1)
+                .policy(policy)
+                .build()
+                .unwrap();
+            let mut cache = MolecularCache::new(config);
+            b.iter(|| {
+                for req in &reqs {
+                    std::hint::black_box(cache.access(*req));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_resize_round(c: &mut Criterion) {
+    // Cost of one full resize round (the paper estimates ~1500 cycles per
+    // application on a host core; here we measure our simulator's cost).
+    c.bench_function("resize_round_4apps", |b| {
+        let mk = || {
+            let config = MolecularConfig::builder()
+                .molecule_size(8 * 1024)
+                .tile_molecules(64)
+                .tiles_per_cluster(4)
+                .clusters(1)
+                // Constant period 1000: exactly one resize per 1000 accesses.
+                .trigger(ResizeTrigger::Constant { period: 1_000 })
+                .build()
+                .unwrap();
+            let mut cache = MolecularCache::new(config);
+            let mut sources: Vec<_> = Benchmark::SPEC4
+                .iter()
+                .enumerate()
+                .map(|(i, bench)| bench.source(Asid::new(i as u16 + 1), 3))
+                .collect();
+            // Warm the regions so resize rounds have real work to do.
+            for _ in 0..250 {
+                for src in &mut sources {
+                    let acc = src.next_access().unwrap();
+                    cache.access(Request::from(acc));
+                }
+            }
+            (cache, sources)
+        };
+        b.iter_batched(
+            mk,
+            |(mut cache, mut sources)| {
+                for _ in 0..250 {
+                    for src in &mut sources {
+                        let acc = src.next_access().unwrap();
+                        std::hint::black_box(cache.access(Request::from(acc)));
+                    }
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_replacement_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement_victim");
+    for policy in [Policy::Lru, Policy::Fifo, Policy::Random, Policy::PlruTree] {
+        group.bench_function(format!("{policy}_8way"), |b| {
+            let mut p = SetPolicy::new(policy, 8);
+            let mut rng = Rng::seeded(3);
+            for w in 0..8 {
+                p.on_fill(w);
+            }
+            b.iter(|| {
+                let v = p.victim(&mut rng);
+                p.on_hit(std::hint::black_box(v));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_din_parse(c: &mut Criterion) {
+    use molcache_trace::din::{read_din, write_din};
+    let mut src = Benchmark::Gcc.source(Asid::new(1), 3);
+    let accs = src.collect_n(BATCH);
+    let mut bytes = Vec::new();
+    write_din(&accs, &mut bytes).unwrap();
+    let mut group = c.benchmark_group("din");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                read_din(std::io::Cursor::new(&bytes), Asid::new(1)).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_reuse_profile_generation(c: &mut Criterion) {
+    use molcache_trace::gen::{ReuseBand, ReuseProfileSource};
+    use molcache_trace::Address;
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("reuse_profile", |b| {
+        let mut src = ReuseProfileSource::new(
+            Asid::new(1),
+            Address::new(0),
+            vec![ReuseBand::new(1, 64, 0.7), ReuseBand::new(64, 4096, 0.3)],
+            0.02,
+            0.1,
+            5,
+        )
+        .unwrap();
+        b.iter(|| {
+            for _ in 0..BATCH {
+                std::hint::black_box(src.next_access());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_power_model(c: &mut Criterion) {
+    let node = TechNode::nm70();
+    c.bench_function("cacti_analyze_8mb_4way", |b| {
+        let cfg = CacheConfig::new(8 << 20, 4, 64).unwrap().with_ports(4);
+        b.iter(|| std::hint::black_box(analyze(&cfg, &node)));
+    });
+    c.bench_function("cacti_analyze_molecule", |b| {
+        let cfg = CacheConfig::new(8 << 10, 1, 64).unwrap();
+        b.iter(|| std::hint::black_box(analyze(&cfg, &node)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_reuse_profile_generation,
+    bench_set_assoc_access,
+    bench_molecular_access,
+    bench_resize_round,
+    bench_replacement_policies,
+    bench_din_parse,
+    bench_power_model,
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [table1|fig5|table2|table4|fig6|table5|ablations|all]
+//!       [--scale smoke|quick|paper] [--refs N] [--json DIR]
+//! ```
+//!
+//! With `--json DIR` each experiment also writes a machine-readable
+//! record as `DIR/<id>.json`.
+
+use molcache_bench::experiments::{ablations, fig5, fig6, table1, table2, table4, table5};
+use molcache_bench::ExperimentScale;
+use std::io::Write as _;
+
+fn parse_args() -> (Vec<String>, ExperimentScale, Option<String>) {
+    let mut targets = Vec::new();
+    let mut scale = ExperimentScale::Quick;
+    let mut json_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().unwrap_or_default();
+                scale = match v.as_str() {
+                    "smoke" => ExperimentScale::Smoke,
+                    "quick" => ExperimentScale::Quick,
+                    "paper" => ExperimentScale::Paper,
+                    other => {
+                        eprintln!("unknown scale `{other}` (smoke|quick|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--refs" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<u64>() {
+                    Ok(n) => scale = ExperimentScale::Custom(n),
+                    Err(_) => {
+                        eprintln!("--refs expects a number, got `{v}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => json_dir = args.next(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    (targets, scale, json_dir)
+}
+
+fn write_json(dir: &Option<String>, id: &str, json: String) {
+    let Some(dir) = dir else { return };
+    let path = std::path::Path::new(dir).join(format!("{id}.json"));
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|_| std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let (targets, scale, json_dir) = parse_args();
+    let all = targets.iter().any(|t| t == "all");
+    let wants = |name: &str| all || targets.iter().any(|t| t == name);
+    let start = std::time::Instant::now();
+
+    if wants("table1") {
+        let t = table1::run(scale);
+        println!("{}", t.render());
+        write_json(&json_dir, "table1", t.record().to_json());
+    }
+    if wants("fig5") {
+        for graph in [fig5::Graph::A, fig5::Graph::B] {
+            let f = fig5::run(graph, scale);
+            println!("{}", f.render());
+            write_json(&json_dir, &f.record().id.clone(), f.record().to_json());
+        }
+    }
+    // Table 2 feeds Table 5; run them together so the measurement is shared.
+    let mut t2_cache = None;
+    if wants("table2") {
+        let t = table2::run(scale);
+        println!("{}", t.render());
+        write_json(&json_dir, "table2", t.record().to_json());
+        t2_cache = Some(t);
+    }
+    if wants("table4") {
+        let t = table4::run(scale);
+        println!("{}", t.render());
+        write_json(&json_dir, "table4", t.record().to_json());
+    }
+    if wants("fig6") {
+        let f = fig6::run(scale);
+        println!("{}", f.render());
+        write_json(&json_dir, "fig6", f.record().to_json());
+    }
+    if wants("table5") {
+        let t = match &t2_cache {
+            Some(t2) => table5::run_from_table2(t2),
+            None => table5::run(scale),
+        };
+        println!("{}", t.render());
+        write_json(&json_dir, "table5", t.record().to_json());
+    }
+    if wants("ablations") {
+        println!("{}", ablations::run(scale));
+        write_json(&json_dir, "ablations", ablations::record(scale).to_json());
+    }
+    eprintln!(
+        "done in {:.1}s ({} references per experiment)",
+        start.elapsed().as_secs_f64(),
+        scale.references()
+    );
+}

@@ -1,0 +1,435 @@
+//! Design-choice ablations called out in §3.4 of the paper.
+//!
+//! The paper motivates several choices with one-line experimental
+//! observations; these ablations make them measurable:
+//!
+//! * **Resize trigger** — constant vs global-adaptive vs
+//!   per-application-adaptive periods ("adaptive schemes perform better
+//!   than constant address schemes").
+//! * **Initial allocation** — 2 molecules vs half a tile ("when small
+//!   initial partition size is used frequent repartitions are required").
+//! * **Growth chunk** — single-molecule increments vs chunked growth
+//!   ("single molecule increments are less effective").
+//! * **Line-size factor** — 1/2/4-line region blocks on a streaming
+//!   workload (§3.2's spatial-locality motivation).
+//! * **Replacement scheme** — Random vs Randy vs the future-work
+//!   LRU-Direct scheme (§5: "a different scheme for replacements such as
+//!   an LRU-Direct scheme needs to be evaluated").
+
+use crate::harness::{asid_of, run_workload_on, run_workload_warmed, ExperimentScale};
+use molcache_core::{
+    InitialAllocation, MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger,
+};
+use molcache_metrics::deviation::{average_deviation, MissRateGoal};
+use molcache_metrics::record::{ConfigResult, ExperimentRecord, Metric};
+use molcache_metrics::table::{fmt_f64, Table};
+use molcache_trace::presets::Benchmark;
+
+const GOAL: f64 = 0.10;
+
+fn base_builder(size: u64) -> MolecularConfigBuilderWrap {
+    MolecularConfigBuilderWrap { size }
+}
+
+struct MolecularConfigBuilderWrap {
+    size: u64,
+}
+
+impl MolecularConfigBuilderWrap {
+    fn build<F>(&self, customize: F) -> MolecularCache
+    where
+        F: FnOnce(&mut molcache_core::MolecularConfigBuilder),
+    {
+        let mut b = MolecularConfig::builder();
+        b.molecule_size(8 * 1024)
+            .tile_molecules((self.size / 4 / 8192) as usize)
+            .tiles_per_cluster(4)
+            .clusters(1)
+            .policy(RegionPolicy::Randy)
+            .miss_rate_goal(GOAL)
+            .seed(42);
+        customize(&mut b);
+        MolecularCache::new(b.build().expect("ablation geometry is valid"))
+    }
+}
+
+/// One ablation measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// Variant label.
+    pub label: String,
+    /// Average deviation from the goal over the SPEC4 workload.
+    pub avg_deviation: f64,
+    /// Resize rounds executed.
+    pub resize_rounds: u64,
+    /// Failed (molecule-starved) allocations.
+    pub failed_allocations: u64,
+}
+
+fn measure(mut cache: MolecularCache, refs: u64, label: String) -> AblationResult {
+    let summary = run_workload_warmed(&Benchmark::SPEC4, &mut cache, refs, 42);
+    let goals = MissRateGoal::uniform(GOAL);
+    let avg = average_deviation(
+        (0..4).map(|i| (asid_of(i), summary.app_miss_rate(asid_of(i)))),
+        &goals,
+    );
+    AblationResult {
+        label,
+        avg_deviation: avg,
+        resize_rounds: cache.resize_rounds(),
+        failed_allocations: cache.failed_allocations(),
+    }
+}
+
+/// Ablation A: resize trigger schemes on a 2 MB molecular cache.
+pub fn resize_triggers(scale: ExperimentScale) -> Vec<AblationResult> {
+    let refs = scale.references();
+    let variants: Vec<(&str, ResizeTrigger)> = vec![
+        ("constant(25k)", ResizeTrigger::Constant { period: 25_000 }),
+        (
+            "global-adaptive(25k)",
+            ResizeTrigger::GlobalAdaptive {
+                initial_period: 25_000,
+            },
+        ),
+        (
+            "per-app-adaptive(25k)",
+            ResizeTrigger::PerAppAdaptive {
+                initial_period: 25_000,
+            },
+        ),
+    ];
+    variants
+        .into_iter()
+        .map(|(label, trigger)| {
+            let cache = base_builder(2 << 20).build(|b| {
+                b.trigger(trigger);
+            });
+            measure(cache, refs, label.to_string())
+        })
+        .collect()
+}
+
+/// Ablation B: initial allocation (2 molecules vs half tile vs 32).
+pub fn initial_allocation(scale: ExperimentScale) -> Vec<AblationResult> {
+    let refs = scale.references();
+    let variants: Vec<(&str, InitialAllocation)> = vec![
+        ("2 molecules", InitialAllocation::Molecules(2)),
+        ("half tile", InitialAllocation::HalfTile),
+        ("32 molecules", InitialAllocation::Molecules(32)),
+    ];
+    variants
+        .into_iter()
+        .map(|(label, alloc)| {
+            let cache = base_builder(2 << 20).build(|b| {
+                b.initial_allocation(alloc);
+            });
+            measure(cache, refs, label.to_string())
+        })
+        .collect()
+}
+
+/// Ablation C: growth chunk (single-molecule vs quarter-tile chunks).
+pub fn growth_chunk(scale: ExperimentScale) -> Vec<AblationResult> {
+    let refs = scale.references();
+    [1usize, 4, 16]
+        .into_iter()
+        .map(|chunk| {
+            let cache = base_builder(2 << 20).build(|b| {
+                b.max_allocation(chunk);
+            });
+            measure(cache, refs, format!("max_allocation={chunk}"))
+        })
+        .collect()
+}
+
+/// Ablation D: region line-size factor on a streaming-heavy application
+/// (CRC). Returns `(factor, miss_rate)` pairs — spatial locality should
+/// make larger blocks pay off.
+pub fn line_size_factor(scale: ExperimentScale) -> Vec<(u32, f64)> {
+    let refs = scale.references();
+    [1u32, 2, 4]
+        .into_iter()
+        .map(|factor| {
+            let mut cache = base_builder(2 << 20).build(|b| {
+                b.app_line_factor(asid_of(0), factor);
+            });
+            let summary = run_workload_on(&[Benchmark::Crc], &mut cache, refs, 42);
+            (factor, summary.app_miss_rate(asid_of(0)))
+        })
+        .collect()
+}
+
+/// Ablation E (the paper's §5 future work): replacement schemes on the
+/// SPEC4 workload at 2 MB — Random, Randy, and LRU-Direct.
+pub fn replacement_schemes(scale: ExperimentScale) -> Vec<AblationResult> {
+    let refs = scale.references();
+    [
+        RegionPolicy::Random,
+        RegionPolicy::Randy,
+        RegionPolicy::LruDirect,
+    ]
+    .into_iter()
+    .map(|policy| {
+        let cache = base_builder(2 << 20).build(|b| {
+            b.policy(policy);
+        });
+        measure(cache, refs, policy.to_string())
+    })
+    .collect()
+}
+
+/// Ablation F: molecule size (the paper's §3 building-block range is
+/// 8-32 KB). Smaller molecules give finer allocation granularity and
+/// cheaper probes; larger ones reduce per-access probe counts. Total
+/// capacity is held at 2 MB.
+pub fn molecule_size(scale: ExperimentScale) -> Vec<AblationResult> {
+    let refs = scale.references();
+    [8u64, 16, 32]
+        .into_iter()
+        .map(|kb| {
+            let bytes = kb * 1024;
+            let mut b = MolecularConfig::builder();
+            b.molecule_size(bytes)
+                .tile_molecules(((2 << 20) / 4 / bytes) as usize)
+                .tiles_per_cluster(4)
+                .clusters(1)
+                .policy(RegionPolicy::Randy)
+                .miss_rate_goal(GOAL)
+                .seed(42);
+            let cache = MolecularCache::new(b.build().expect("molecule sweep geometry"));
+            measure(cache, refs, format!("{kb}KB molecules"))
+        })
+        .collect()
+}
+
+/// Ablation G: configured way size (`row_max`) of the Randy replacement
+/// view — the trade between per-row isolation (more rows) and
+/// associativity per row (fewer rows).
+pub fn row_max(scale: ExperimentScale) -> Vec<AblationResult> {
+    let refs = scale.references();
+    [2usize, 4, 8, 16]
+        .into_iter()
+        .map(|rows| {
+            let cache = base_builder(2 << 20).build(|b| {
+                b.row_max(rows);
+            });
+            measure(cache, refs, format!("row_max={rows}"))
+        })
+        .collect()
+}
+
+/// Runs every ablation and renders a combined report.
+pub fn run(scale: ExperimentScale) -> String {
+    let mut out = String::new();
+    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
+    for r in resize_triggers(scale) {
+        t.row(vec![
+            r.label,
+            fmt_f64(r.avg_deviation, 3),
+            r.resize_rounds.to_string(),
+            r.failed_allocations.to_string(),
+        ]);
+    }
+    out.push_str(&format!("Ablation A: resize triggers (2MB)\n{}\n", t.render()));
+
+    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
+    for r in initial_allocation(scale) {
+        t.row(vec![
+            r.label,
+            fmt_f64(r.avg_deviation, 3),
+            r.resize_rounds.to_string(),
+            r.failed_allocations.to_string(),
+        ]);
+    }
+    out.push_str(&format!("Ablation B: initial allocation\n{}\n", t.render()));
+
+    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
+    for r in growth_chunk(scale) {
+        t.row(vec![
+            r.label,
+            fmt_f64(r.avg_deviation, 3),
+            r.resize_rounds.to_string(),
+            r.failed_allocations.to_string(),
+        ]);
+    }
+    out.push_str(&format!("Ablation C: growth chunk\n{}\n", t.render()));
+
+    let mut t = Table::new(vec!["line factor", "CRC miss rate"]);
+    for (factor, mr) in line_size_factor(scale) {
+        t.row(vec![format!("{factor}x64B"), fmt_f64(mr, 3)]);
+    }
+    out.push_str(&format!("Ablation D: line-size factor\n{}\n", t.render()));
+
+    let mut t = Table::new(vec!["scheme", "avg deviation", "resizes", "starved"]);
+    for r in replacement_schemes(scale) {
+        t.row(vec![
+            r.label,
+            fmt_f64(r.avg_deviation, 3),
+            r.resize_rounds.to_string(),
+            r.failed_allocations.to_string(),
+        ]);
+    }
+    out.push_str(&format!(
+        "Ablation E: replacement schemes (incl. future-work LRU-Direct)\n{}\n",
+        t.render()
+    ));
+
+    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
+    for r in molecule_size(scale) {
+        t.row(vec![
+            r.label,
+            fmt_f64(r.avg_deviation, 3),
+            r.resize_rounds.to_string(),
+            r.failed_allocations.to_string(),
+        ]);
+    }
+    out.push_str(&format!("Ablation F: molecule size (2MB total)\n{}\n", t.render()));
+
+    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
+    for r in row_max(scale) {
+        t.row(vec![
+            r.label,
+            fmt_f64(r.avg_deviation, 3),
+            r.resize_rounds.to_string(),
+            r.failed_allocations.to_string(),
+        ]);
+    }
+    out.push_str(&format!("Ablation G: configured way size (row_max)\n{}", t.render()));
+    out
+}
+
+/// Machine-readable record of all ablations.
+pub fn record(scale: ExperimentScale) -> ExperimentRecord {
+    let mut results = Vec::new();
+    for r in resize_triggers(scale) {
+        results.push(ConfigResult {
+            label: format!("trigger:{}", r.label),
+            metrics: vec![
+                Metric::new("avg_deviation", r.avg_deviation),
+                Metric::new("resize_rounds", r.resize_rounds as f64),
+            ],
+        });
+    }
+    for r in initial_allocation(scale) {
+        results.push(ConfigResult {
+            label: format!("initial:{}", r.label),
+            metrics: vec![
+                Metric::new("avg_deviation", r.avg_deviation),
+                Metric::new("resize_rounds", r.resize_rounds as f64),
+            ],
+        });
+    }
+    for r in growth_chunk(scale) {
+        results.push(ConfigResult {
+            label: format!("chunk:{}", r.label),
+            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
+        });
+    }
+    for (factor, mr) in line_size_factor(scale) {
+        results.push(ConfigResult {
+            label: format!("line_factor:{factor}"),
+            metrics: vec![Metric::new("crc_miss_rate", mr)],
+        });
+    }
+    for r in replacement_schemes(scale) {
+        results.push(ConfigResult {
+            label: format!("scheme:{}", r.label),
+            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
+        });
+    }
+    for r in molecule_size(scale) {
+        results.push(ConfigResult {
+            label: format!("molecule:{}", r.label),
+            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
+        });
+    }
+    for r in row_max(scale) {
+        results.push(ConfigResult {
+            label: format!("rows:{}", r.label),
+            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
+        });
+    }
+    ExperimentRecord {
+        id: "ablations".into(),
+        workload: "SPEC4 on 2MB molecular / CRC streaming".into(),
+        references: scale.references(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_produce_three_variants() {
+        let rs = resize_triggers(ExperimentScale::Custom(250_000));
+        assert_eq!(rs.len(), 3);
+        assert!(rs.iter().all(|r| r.resize_rounds > 0));
+    }
+
+    #[test]
+    fn small_initial_allocation_resizes_more() {
+        let rs = initial_allocation(ExperimentScale::Custom(120_000));
+        let two = rs.iter().find(|r| r.label.starts_with("2 ")).unwrap();
+        let half = rs.iter().find(|r| r.label.contains("half")).unwrap();
+        // The paper: small initial partitions need frequent repartitions
+        // early on. At minimum both must have resized; typically the
+        // 2-molecule start needs at least as many rounds.
+        assert!(two.resize_rounds >= half.resize_rounds / 2);
+    }
+
+    #[test]
+    fn line_factor_reduces_streaming_misses() {
+        let pts = line_size_factor(ExperimentScale::Custom(120_000));
+        let mr1 = pts.iter().find(|(f, _)| *f == 1).unwrap().1;
+        let mr4 = pts.iter().find(|(f, _)| *f == 4).unwrap().1;
+        assert!(
+            mr4 < mr1,
+            "4-line blocks must cut the streaming miss rate: {mr4} vs {mr1}"
+        );
+    }
+
+    #[test]
+    fn combined_report_renders() {
+        let s = run(ExperimentScale::Custom(60_000));
+        assert!(s.contains("Ablation A"));
+        assert!(s.contains("Ablation D"));
+        assert!(s.contains("Ablation E"));
+        assert!(s.contains("LRU-Direct"));
+    }
+
+    #[test]
+    fn molecule_sizes_all_run() {
+        let rs = molecule_size(ExperimentScale::Custom(120_000));
+        assert_eq!(rs.len(), 3);
+        for r in &rs {
+            assert!(r.avg_deviation.is_finite());
+            assert!(r.resize_rounds > 0);
+        }
+    }
+
+    #[test]
+    fn row_max_sweep_runs() {
+        let rs = row_max(ExperimentScale::Custom(120_000));
+        assert_eq!(rs.len(), 4);
+        assert!(rs.iter().all(|r| r.avg_deviation.is_finite()));
+    }
+
+    #[test]
+    fn lru_direct_is_competitive() {
+        let rs = replacement_schemes(ExperimentScale::Custom(200_000));
+        assert_eq!(rs.len(), 3);
+        let randy = rs.iter().find(|r| r.label == "Randy").unwrap();
+        let lru = rs.iter().find(|r| r.label == "LRU-Direct").unwrap();
+        // LRU-Direct should be in the same deviation regime as Randy
+        // (within 2x), not pathological.
+        assert!(
+            lru.avg_deviation < randy.avg_deviation * 2.0 + 0.05,
+            "LRU-Direct {:.3} vs Randy {:.3}",
+            lru.avg_deviation,
+            randy.avg_deviation
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,188 @@
+//! Shared experiment plumbing.
+
+use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
+use molcache_sim::cmp::{run_accesses, RunSummary};
+use molcache_sim::CacheModel;
+use molcache_trace::gen::BoxedSource;
+use molcache_trace::interleave::Workload;
+use molcache_trace::presets::Benchmark;
+use molcache_trace::Asid;
+
+/// How many references an experiment simulates.
+///
+/// The paper's SPEC traces hold ~3.9 M references; [`ExperimentScale::Paper`]
+/// matches that. Tests and quick runs use the smaller scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// ~100 K references (CI tests).
+    Smoke,
+    /// ~1 M references (quick local runs).
+    Quick,
+    /// ~3.9 M references (the paper's trace length).
+    Paper,
+    /// Explicit reference count.
+    Custom(u64),
+}
+
+impl ExperimentScale {
+    /// Number of references to drive.
+    pub fn references(self) -> u64 {
+        match self {
+            ExperimentScale::Smoke => 100_000,
+            ExperimentScale::Quick => 1_000_000,
+            ExperimentScale::Paper => 3_900_000,
+            ExperimentScale::Custom(n) => n,
+        }
+    }
+}
+
+/// Builds the molecular configuration used throughout the evaluation:
+/// 8 KB molecules, `tiles_per_cluster` tiles per cluster, sized so that
+/// `clusters * tiles * tile_bytes = total_bytes`.
+///
+/// # Panics
+///
+/// Panics if the geometry does not divide evenly (experiment
+/// configurations are all powers of two).
+pub fn molecular_config(
+    total_bytes: u64,
+    clusters: usize,
+    tiles_per_cluster: usize,
+    policy: RegionPolicy,
+    goal: f64,
+    seed: u64,
+) -> MolecularConfig {
+    let molecule = 8 * 1024u64;
+    let tile_bytes = total_bytes / (clusters as u64 * tiles_per_cluster as u64);
+    assert!(
+        tile_bytes >= molecule && tile_bytes.is_multiple_of(molecule),
+        "tile size must hold whole molecules"
+    );
+    MolecularConfig::builder()
+        .molecule_size(molecule)
+        .tile_molecules((tile_bytes / molecule) as usize)
+        .tiles_per_cluster(tiles_per_cluster)
+        .clusters(clusters)
+        .policy(policy)
+        .miss_rate_goal(goal)
+        .trigger(ResizeTrigger::GlobalAdaptive {
+            initial_period: 25_000,
+        })
+        .seed(seed)
+        .build()
+        .expect("experiment geometry is valid")
+}
+
+/// Builds the molecular cache for an experiment.
+pub fn molecular_cache(
+    total_bytes: u64,
+    clusters: usize,
+    tiles_per_cluster: usize,
+    policy: RegionPolicy,
+    goal: f64,
+    seed: u64,
+) -> MolecularCache {
+    MolecularCache::new(molecular_config(
+        total_bytes,
+        clusters,
+        tiles_per_cluster,
+        policy,
+        goal,
+        seed,
+    ))
+}
+
+/// Runs a benchmark list round-robin through any cache model.
+///
+/// ASIDs are assigned 1..=n in list order (matching
+/// [`molcache_trace::presets::workload`]).
+pub fn run_workload_on<C>(
+    benchmarks: &[Benchmark],
+    cache: &mut C,
+    references: u64,
+    seed: u64,
+) -> RunSummary
+where
+    C: CacheModel + ?Sized,
+{
+    let sources: Vec<BoxedSource> = molcache_trace::presets::workload(benchmarks, seed)
+        .into_iter()
+        .map(|(_, src)| src)
+        .collect();
+    let workload = Workload::new(sources).expect("preset workload is valid");
+    run_accesses(workload.round_robin(), cache, references)
+}
+
+/// Fraction of an experiment's references used to warm the cache (and,
+/// for the molecular cache, to let Algorithm 1 size the partitions)
+/// before measurement starts. Statistics are reset at the boundary, so
+/// reported miss rates are steady-state — matching how trace-driven
+/// studies of the paper's era discard cold-start transients.
+pub const WARMUP_FRACTION: f64 = 0.25;
+
+/// Like [`run_workload_on`], but drives `WARMUP_FRACTION` of the
+/// references first, resets the statistics, then measures the rest.
+pub fn run_workload_warmed<C>(
+    benchmarks: &[Benchmark],
+    cache: &mut C,
+    references: u64,
+    seed: u64,
+) -> RunSummary
+where
+    C: CacheModel + ?Sized,
+{
+    let sources: Vec<BoxedSource> = molcache_trace::presets::workload(benchmarks, seed)
+        .into_iter()
+        .map(|(_, src)| src)
+        .collect();
+    let workload = Workload::new(sources).expect("preset workload is valid");
+    let mut stream = workload.round_robin();
+    let warm = (references as f64 * WARMUP_FRACTION) as u64;
+    run_accesses(&mut stream, cache, warm);
+    cache.reset_stats();
+    run_accesses(&mut stream, cache, references - warm)
+}
+
+/// The ASID a benchmark receives by its position in the workload list.
+pub fn asid_of(position: usize) -> Asid {
+    Asid::new(position as u16 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molcache_sim::{CacheConfig, SetAssocCache};
+
+    #[test]
+    fn scale_reference_counts() {
+        assert_eq!(ExperimentScale::Smoke.references(), 100_000);
+        assert_eq!(ExperimentScale::Paper.references(), 3_900_000);
+        assert_eq!(ExperimentScale::Custom(7).references(), 7);
+    }
+
+    #[test]
+    fn molecular_config_partitions_evenly() {
+        // Paper Fig 5: 1MB = 4 tiles of 256KB.
+        let cfg = molecular_config(1 << 20, 1, 4, RegionPolicy::Randy, 0.1, 1);
+        assert_eq!(cfg.tile_bytes(), 256 << 10);
+        assert_eq!(cfg.total_bytes(), 1 << 20);
+        // Table 2: 6MB = 3 clusters x 4 tiles x 512KB.
+        let cfg2 = molecular_config(6 << 20, 3, 4, RegionPolicy::Random, 0.25, 1);
+        assert_eq!(cfg2.tile_bytes(), 512 << 10);
+        assert_eq!(cfg2.tile_molecules(), 64);
+    }
+
+    #[test]
+    fn run_workload_attributes_all_apps() {
+        let mut cache = SetAssocCache::lru(CacheConfig::new(1 << 20, 4, 64).unwrap());
+        let summary = run_workload_on(&Benchmark::SPEC4, &mut cache, 20_000, 42);
+        assert_eq!(summary.per_app.len(), 4);
+        assert_eq!(summary.accesses, 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole molecules")]
+    fn ragged_geometry_panics() {
+        molecular_config(1 << 20, 3, 4, RegionPolicy::Randy, 0.1, 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for molecular-cache configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building a [`MolecularConfig`].
+///
+/// [`MolecularConfig`]: crate::config::MolecularConfig
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration parameter was outside its valid range.
+    InvalidConfig {
+        /// The offending parameter.
+        field: &'static str,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { field, constraint } => {
+                write!(f, "invalid molecular config `{field}`: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_message() {
+        let e = CoreError::InvalidConfig {
+            field: "molecule_size",
+            constraint: "must be a power of two",
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid molecular config `molecule_size`: must be a power of two"
+        );
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<CoreError>();
+    }
+}

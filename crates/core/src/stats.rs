@@ -1,0 +1,79 @@
+//! Region-level statistics snapshots.
+
+use molcache_trace::Asid;
+
+/// A point-in-time summary of one region, for reports and experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionSnapshot {
+    /// The owning application.
+    pub asid: Asid,
+    /// Molecules currently allocated.
+    pub molecules: usize,
+    /// Replacement-view rows.
+    pub rows: usize,
+    /// Time-averaged molecule allocation.
+    pub avg_molecules: f64,
+    /// Lifetime accesses.
+    pub accesses: u64,
+    /// Lifetime hits.
+    pub hits: u64,
+    /// Miss rate of the current (possibly nearly empty) resize window.
+    pub window_miss_rate: f64,
+    /// Miss rate of the last *closed* resize window — the value
+    /// Algorithm 1 most recently acted on.
+    pub last_window_miss_rate: f64,
+    /// The region's miss-rate goal.
+    pub goal: f64,
+    /// Hits per molecule (Figure 6's metric).
+    pub hits_per_molecule: f64,
+}
+
+impl RegionSnapshot {
+    /// Lifetime miss rate.
+    pub fn lifetime_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Absolute deviation of the lifetime miss rate from the goal.
+    pub fn goal_deviation(&self) -> f64 {
+        (self.lifetime_miss_rate() - self.goal).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(hits: u64, accesses: u64, goal: f64) -> RegionSnapshot {
+        RegionSnapshot {
+            asid: Asid::new(1),
+            molecules: 4,
+            rows: 2,
+            avg_molecules: 4.0,
+            accesses,
+            hits,
+            window_miss_rate: 0.0,
+            last_window_miss_rate: 0.0,
+            goal,
+            hits_per_molecule: 0.0,
+        }
+    }
+
+    #[test]
+    fn miss_rate_and_deviation() {
+        let s = snap(80, 100, 0.1);
+        assert!((s.lifetime_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((s.goal_deviation() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_access_region() {
+        let s = snap(0, 0, 0.1);
+        assert_eq!(s.lifetime_miss_rate(), 0.0);
+        assert!((s.goal_deviation() - 0.1).abs() < 1e-12);
+    }
+}

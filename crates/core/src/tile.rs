@@ -1,0 +1,157 @@
+//! Tiles and tile clusters (the physical organization, Figure 2).
+
+use crate::ids::{ClusterId, MoleculeId, TileId};
+
+/// A tile: 32–256 molecules sharing one read/write port.
+///
+/// Tiles track which of their molecules are free (unconfigured); regions
+/// draw molecules from their home tile first and from sibling tiles of
+/// the cluster when the home tile runs out (§3.4, "Where to add?").
+///
+/// ```
+/// use molcache_core::tile::Tile;
+/// use molcache_core::ids::{ClusterId, MoleculeId, TileId};
+///
+/// let mut t = Tile::new(TileId(0), ClusterId(0), vec![MoleculeId(0), MoleculeId(1)]);
+/// let granted = t.take_free().expect("fresh tiles are all free");
+/// assert_eq!(t.free_count(), 1);
+/// t.release(granted);
+/// assert_eq!(t.free_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tile {
+    id: TileId,
+    cluster: ClusterId,
+    molecules: Vec<MoleculeId>,
+    free: Vec<MoleculeId>,
+}
+
+impl Tile {
+    /// Creates a tile owning the given molecules, all initially free.
+    pub fn new(id: TileId, cluster: ClusterId, molecules: Vec<MoleculeId>) -> Self {
+        let free = molecules.clone();
+        Tile {
+            id,
+            cluster,
+            molecules,
+            free,
+        }
+    }
+
+    /// The tile's identifier.
+    pub fn id(&self) -> TileId {
+        self.id
+    }
+
+    /// The cluster this tile belongs to.
+    pub fn cluster(&self) -> ClusterId {
+        self.cluster
+    }
+
+    /// All molecules physically in this tile.
+    pub fn molecules(&self) -> &[MoleculeId] {
+        &self.molecules
+    }
+
+    /// Number of currently free molecules.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Takes one free molecule, if any.
+    pub fn take_free(&mut self) -> Option<MoleculeId> {
+        self.free.pop()
+    }
+
+    /// Returns a molecule to the free pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the molecule does not belong to this tile
+    /// or is already free.
+    pub fn release(&mut self, id: MoleculeId) {
+        debug_assert!(self.molecules.contains(&id), "molecule not of this tile");
+        debug_assert!(!self.free.contains(&id), "double release");
+        self.free.push(id);
+    }
+
+    /// Total molecules in the tile.
+    pub fn capacity(&self) -> usize {
+        self.molecules.len()
+    }
+}
+
+/// A tile cluster with its Ulmo controller.
+///
+/// Ulmo handles tile misses (searching the other tiles of the cluster
+/// that contribute molecules to the requesting region), inter-cluster
+/// coherence traffic, and the free-molecule accounting used by resizing.
+#[derive(Debug, Clone)]
+pub struct TileCluster {
+    id: ClusterId,
+    tiles: Vec<TileId>,
+}
+
+impl TileCluster {
+    /// Creates a cluster over the given tiles.
+    pub fn new(id: ClusterId, tiles: Vec<TileId>) -> Self {
+        TileCluster { id, tiles }
+    }
+
+    /// The cluster's identifier.
+    pub fn id(&self) -> ClusterId {
+        self.id
+    }
+
+    /// Tiles in this cluster.
+    pub fn tiles(&self) -> &[TileId] {
+        &self.tiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile() -> Tile {
+        Tile::new(
+            TileId(0),
+            ClusterId(0),
+            (0..4).map(MoleculeId).collect(),
+        )
+    }
+
+    #[test]
+    fn all_molecules_start_free() {
+        let t = tile();
+        assert_eq!(t.free_count(), 4);
+        assert_eq!(t.capacity(), 4);
+    }
+
+    #[test]
+    fn take_and_release_roundtrip() {
+        let mut t = tile();
+        let a = t.take_free().unwrap();
+        let b = t.take_free().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(t.free_count(), 2);
+        t.release(a);
+        assert_eq!(t.free_count(), 3);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut t = tile();
+        for _ in 0..4 {
+            assert!(t.take_free().is_some());
+        }
+        assert!(t.take_free().is_none());
+    }
+
+    #[test]
+    fn cluster_holds_tiles() {
+        let c = TileCluster::new(ClusterId(1), vec![TileId(4), TileId(5)]);
+        assert_eq!(c.id(), ClusterId(1));
+        assert_eq!(c.tiles(), &[TileId(4), TileId(5)]);
+    }
+}

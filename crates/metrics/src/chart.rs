@@ -1,0 +1,148 @@
+//! Terminal charts for experiment output.
+//!
+//! The paper's figures are line/bar plots; the `repro` binary prints
+//! their data as tables plus these ASCII renderings so the shapes are
+//! visible without leaving the terminal.
+
+use std::fmt::Write as _;
+
+/// Renders a horizontal bar chart.
+///
+/// ```
+/// use molcache_metrics::chart::bar_chart;
+/// let s = bar_chart("deviation", &[("a".into(), 0.5), ("b".into(), 1.0)], 20);
+/// assert!(s.contains("a"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if rows.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    for (label, value) in rows {
+        let filled = ((value / max) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{label:label_w$} |{}{} {value:.3}",
+            "#".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+        );
+    }
+    out
+}
+
+/// Renders several series over shared x labels as a line-ish scatter
+/// (one glyph per series), y scaled to the data range.
+///
+/// Intended for small figures (a handful of x points), like the paper's
+/// Figure 5 size sweeps.
+pub fn series_chart(
+    title: &str,
+    x_labels: &[String],
+    series: &[(String, Vec<f64>)],
+    height: usize,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '@', '%', '&', '~'];
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if series.is_empty() || x_labels.is_empty() || height == 0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let all: Vec<f64> = series.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+    let max = all.iter().cloned().fold(f64::MIN, f64::max);
+    let min = all.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    let col_w = 8usize;
+    // Grid rows from top (max) to bottom (min).
+    let mut grid = vec![vec![' '; x_labels.len() * col_w]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let level = ((v - min) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - level.min(height - 1);
+            let col = xi * col_w + col_w / 2;
+            grid[row][col] = glyph;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y = max - span * i as f64 / (height - 1).max(1) as f64;
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{y:8.3} |{}", line.trim_end());
+    }
+    let _ = write!(out, "{:8} +", "");
+    for label in x_labels {
+        let _ = write!(out, "{label:^col_w$}");
+    }
+    out.push('\n');
+    let _ = write!(out, "{:10}", "");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = write!(out, "{}={name}  ", GLYPHS[si % GLYPHS.len()]);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart("t", &[("big".into(), 2.0), ("small".into(), 1.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        let big_hashes = lines[1].matches('#').count();
+        let small_hashes = lines[2].matches('#').count();
+        assert_eq!(big_hashes, 10);
+        assert_eq!(small_hashes, 5);
+    }
+
+    #[test]
+    fn bar_chart_empty() {
+        assert!(bar_chart("t", &[], 10).contains("no data"));
+    }
+
+    #[test]
+    fn series_chart_places_every_series() {
+        let s = series_chart(
+            "fig",
+            &["1MB".into(), "2MB".into()],
+            &[
+                ("A".into(), vec![1.0, 0.5]),
+                ("B".into(), vec![0.2, 0.1]),
+            ],
+            6,
+        );
+        assert!(s.contains('*'), "{s}");
+        assert!(s.contains('o'), "{s}");
+        assert!(s.contains("*=A"));
+        assert!(s.contains("1MB"));
+    }
+
+    #[test]
+    fn series_chart_handles_flat_data() {
+        let s = series_chart(
+            "flat",
+            &["x".into()],
+            &[("A".into(), vec![0.5])],
+            4,
+        );
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn series_chart_empty() {
+        assert!(series_chart("t", &[], &[], 4).contains("no data"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Deviation from the miss-rate goal (the paper's primary QoS metric).
+
+use molcache_trace::Asid;
+use std::collections::BTreeMap;
+
+/// Per-application miss-rate goals with a default.
+///
+/// ```
+/// use molcache_metrics::MissRateGoal;
+/// use molcache_trace::Asid;
+///
+/// let goals = MissRateGoal::uniform(0.10).with_override(Asid::new(4), 0.30);
+/// assert_eq!(goals.goal(Asid::new(1)), 0.10);
+/// assert_eq!(goals.goal(Asid::new(4)), 0.30);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissRateGoal {
+    default: f64,
+    overrides: BTreeMap<Asid, f64>,
+}
+
+impl MissRateGoal {
+    /// The same goal for every application (Graph A of Figure 5).
+    pub fn uniform(goal: f64) -> Self {
+        MissRateGoal {
+            default: goal,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a per-application override (Graph B of Figure 5 sets a goal
+    /// for only three of the four benchmarks).
+    pub fn with_override(mut self, asid: Asid, goal: f64) -> Self {
+        self.overrides.insert(asid, goal);
+        self
+    }
+
+    /// The goal for one application.
+    pub fn goal(&self, asid: Asid) -> f64 {
+        self.overrides.get(&asid).copied().unwrap_or(self.default)
+    }
+}
+
+/// Absolute deviation of a miss rate from its goal.
+pub fn deviation_from_goal(miss_rate: f64, goal: f64) -> f64 {
+    (miss_rate - goal).abs()
+}
+
+/// Overshoot-only deviation: how far the miss rate exceeds the goal
+/// (`0` when the goal is met or beaten).
+///
+/// The paper's Table 5 metric treats over-service (miss rate *below*
+/// goal) the same as a QoS violation; its §5 notes the metric "needs to
+/// be further refined". This is the refinement used by
+/// [`power_deviation::refined_power_deviation_product`]: only violations
+/// count, since a below-goal application has its QoS satisfied.
+///
+/// [`power_deviation::refined_power_deviation_product`]:
+/// crate::power_deviation::refined_power_deviation_product
+pub fn overshoot_from_goal(miss_rate: f64, goal: f64) -> f64 {
+    (miss_rate - goal).max(0.0)
+}
+
+/// Average overshoot-only deviation over a set of applications.
+pub fn average_overshoot<I>(miss_rates: I, goals: &MissRateGoal) -> f64
+where
+    I: IntoIterator<Item = (Asid, f64)>,
+{
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (asid, mr) in miss_rates {
+        sum += overshoot_from_goal(mr, goals.goal(asid));
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Average deviation from the miss-rate goal over a set of applications
+/// (the paper's Figure 5 / Table 2 metric).
+///
+/// `miss_rates` pairs each application with its measured miss rate; the
+/// deviation of each is taken against its own goal and the mean is
+/// returned. Returns `0.0` for an empty input.
+pub fn average_deviation<I>(miss_rates: I, goals: &MissRateGoal) -> f64
+where
+    I: IntoIterator<Item = (Asid, f64)>,
+{
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (asid, mr) in miss_rates {
+        sum += deviation_from_goal(mr, goals.goal(asid));
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_is_absolute() {
+        assert!((deviation_from_goal(0.3, 0.1) - 0.2).abs() < 1e-12);
+        assert!((deviation_from_goal(0.05, 0.1) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_over_apps() {
+        let goals = MissRateGoal::uniform(0.1);
+        let mrs = vec![(Asid::new(1), 0.2), (Asid::new(2), 0.1)];
+        // Deviations 0.1 and 0.0 -> mean 0.05.
+        assert!((average_deviation(mrs, &goals) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn override_changes_one_app() {
+        let goals = MissRateGoal::uniform(0.1).with_override(Asid::new(3), 0.7);
+        let mrs = vec![(Asid::new(1), 0.1), (Asid::new(3), 0.7)];
+        assert_eq!(average_deviation(mrs, &goals), 0.0);
+    }
+
+    #[test]
+    fn overshoot_ignores_over_service() {
+        assert_eq!(overshoot_from_goal(0.05, 0.1), 0.0);
+        assert!((overshoot_from_goal(0.3, 0.1) - 0.2).abs() < 1e-12);
+        let goals = MissRateGoal::uniform(0.1);
+        let mrs = vec![(Asid::new(1), 0.05), (Asid::new(2), 0.3)];
+        // Only the violator counts: 0.2 / 2 apps.
+        assert!((average_overshoot(mrs, &goals) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let goals = MissRateGoal::uniform(0.1);
+        assert_eq!(average_deviation(Vec::new(), &goals), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Hits per molecule (Figure 6's replacement-efficiency metric).
+
+/// Hit rate achieved per molecule employed.
+///
+/// The paper compares Random and Randy by "the number of molecules
+/// employed to achieve the given hit rate": a policy achieving the same
+/// hit rate with fewer molecules is more effective. Returns `0.0` when
+/// no molecules were used or no accesses happened.
+pub fn hits_per_molecule(hits: u64, accesses: u64, avg_molecules: f64) -> f64 {
+    if accesses == 0 || avg_molecules <= 0.0 {
+        return 0.0;
+    }
+    (hits as f64 / accesses as f64) / avg_molecules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ratio() {
+        // 50% hit rate over 10 molecules -> 0.05.
+        assert!((hits_per_molecule(50, 100, 10.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_molecules_scores_higher() {
+        let small = hits_per_molecule(90, 100, 5.0);
+        let big = hits_per_molecule(90, 100, 20.0);
+        assert!(small > big);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(hits_per_molecule(0, 0, 4.0), 0.0);
+        assert_eq!(hits_per_molecule(10, 100, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # molcache-metrics — QoS metrics and paper-style reporting
+//!
+//! The paper evaluates caches with three metrics, all implemented here:
+//!
+//! * **Average deviation from the miss-rate goal** ([`deviation`]) — the
+//!   per-application `|miss_rate − goal|`, averaged over the workload
+//!   (Figure 5, Table 2).
+//! * **Hits per molecule** ([`hpm`]) — hit rate divided by molecules
+//!   used; Figure 6's replacement-policy efficiency metric.
+//! * **Power-deviation product** ([`power_deviation`]) — Table 5's
+//!   combined QoS/power figure of merit.
+//!
+//! Plus [`table`] — fixed-width ASCII tables and CSV emitters so the
+//! benchmark harness prints output shaped like the paper's tables — and
+//! [`record`] — serde-serializable experiment records written next to
+//! the human-readable output.
+
+pub mod chart;
+pub mod deviation;
+pub mod hpm;
+pub mod power_deviation;
+pub mod record;
+pub mod table;
+
+pub use deviation::{average_deviation, deviation_from_goal, MissRateGoal};
+pub use hpm::hits_per_molecule;
+pub use power_deviation::power_deviation_product;

@@ -1,0 +1,118 @@
+//! Machine-readable experiment records (serde).
+//!
+//! Every experiment in the benchmark harness emits one of these next to
+//! its human-readable table, so EXPERIMENTS.md numbers can be regenerated
+//! and diffed mechanically.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured configuration within an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigResult {
+    /// Configuration label, e.g. `"8MB 4way"` or `"Molecular (Randy)"`.
+    pub label: String,
+    /// Metric values by name, e.g. `{"avg_deviation": 0.22}`.
+    pub metrics: Vec<Metric>,
+}
+
+/// A named scalar measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name (`"avg_deviation"`, `"power_w"`, …).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        Metric {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// A full experiment record: which table/figure it reproduces, the
+/// workload, and all configuration results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Paper artifact id, e.g. `"table2"`, `"fig5a"`.
+    pub id: String,
+    /// Workload description.
+    pub workload: String,
+    /// References simulated.
+    pub references: u64,
+    /// Per-configuration results.
+    pub results: Vec<ConfigResult>,
+}
+
+impl ExperimentRecord {
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for this type (no non-string keys, no NaN by
+    /// convention); the `expect` guards programmer error.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record serializes")
+    }
+
+    /// Parses a record back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Finds a metric by configuration label and metric name.
+    pub fn metric(&self, label: &str, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.label == label)?
+            .metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ExperimentRecord {
+        ExperimentRecord {
+            id: "table2".into(),
+            workload: "12-benchmark mixed".into(),
+            references: 1_000_000,
+            results: vec![ConfigResult {
+                label: "6MB Molecular Randy".into(),
+                metrics: vec![Metric::new("avg_deviation", 0.222)],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = record();
+        let parsed = ExperimentRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn metric_lookup() {
+        let r = record();
+        assert_eq!(r.metric("6MB Molecular Randy", "avg_deviation"), Some(0.222));
+        assert_eq!(r.metric("6MB Molecular Randy", "nope"), None);
+        assert_eq!(r.metric("nope", "avg_deviation"), None);
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(ExperimentRecord::from_json("{not json").is_err());
+    }
+}

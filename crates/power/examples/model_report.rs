@@ -1,0 +1,59 @@
+//! Prints the power model's predictions next to the paper's Table 4
+//! anchors — useful when inspecting or re-calibrating the model.
+//!
+//! Run with `cargo run -p molcache-power --example model_report`.
+
+use molcache_power::cacti::analyze;
+use molcache_power::calibrate::{
+    model_table4, molecular_worst_power_w, paper_table4, table3_traditional,
+};
+use molcache_power::tech::TechNode;
+use molcache_sim::CacheConfig;
+
+fn main() {
+    let node = TechNode::nm70();
+    println!("== Table 4 anchors (paper vs model) ==");
+    println!(
+        "{:<10} {:>9} {:>9}   {:>9} {:>9}   {:>10} {:>10}",
+        "cache", "paperMHz", "modelMHz", "paperW", "modelW", "molW(pap)", "molW(mod)"
+    );
+    for row in model_table4(&node) {
+        println!(
+            "{:<10} {:>9.0} {:>9.0}   {:>9.2} {:>9.2}   {:>10.2} {:>10.2}",
+            row.anchor.name,
+            row.anchor.freq_mhz,
+            row.model_freq_mhz,
+            row.anchor.power_w,
+            row.model_power_w,
+            row.anchor.mol_worst_w,
+            row.model_mol_worst_w,
+        );
+    }
+
+    println!("\n== component breakdown, 8MB 4-way (4 ports) ==");
+    let r = analyze(&table3_traditional(4), &node);
+    println!("org {} mode {:?}", r.organization, r.mode);
+    println!("energy breakdown (pJ): {:#?}", r.energy);
+    println!("cycle {:.2} ns  E {:.2} nJ", r.cycle_time_ns, r.energy_nj());
+
+    println!("\n== molecule (8KB DM, 1 port) ==");
+    let m = analyze(&CacheConfig::new(8 << 10, 1, 64).unwrap(), &node);
+    println!("org {} mode {:?}", m.organization, m.mode);
+    println!("energy breakdown (pJ): {:#?}", m.energy);
+    println!("cycle {:.3} ns  E {:.4} nJ", m.cycle_time_ns, m.energy_nj());
+    println!(
+        "tile (64 molecules) E {:.2} nJ",
+        64.0 * m.energy_nj()
+    );
+
+    let f4 = analyze(&table3_traditional(4), &node).frequency_mhz();
+    let p4 = analyze(&table3_traditional(4), &node).power_at_mhz(f4);
+    let pm = molecular_worst_power_w(8 << 10, 512 << 10, &node, f4);
+    println!(
+        "\nadvantage vs 8MB 4way: 1 - {:.2}/{:.2} = {:.1}% (paper: 29%)",
+        pm,
+        p4,
+        (1.0 - pm / p4) * 100.0
+    );
+    let _ = paper_table4();
+}

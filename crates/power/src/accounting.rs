@@ -1,0 +1,178 @@
+//! Converting simulator activity into energy and power.
+
+use crate::cacti::ArrayReport;
+use crate::tech::TechNode;
+use molcache_sim::Activity;
+
+/// Per-event energies used to price a simulator's [`Activity`].
+///
+/// Two constructors cover the two cache families:
+///
+/// * [`EnergyMeter::for_traditional`] — every access probes all ways, so
+///   the per-probe energy is the array's access energy divided by its
+///   associativity.
+/// * [`EnergyMeter::for_molecular`] — every probe is one molecule access;
+///   ASID comparisons and Ulmo searches are priced separately.
+///
+/// ```
+/// use molcache_power::{accounting::EnergyMeter, cacti::analyze, tech::TechNode};
+/// use molcache_sim::{Activity, CacheConfig};
+///
+/// let node = TechNode::nm70();
+/// let report = analyze(&CacheConfig::new(1 << 20, 4, 64)?, &node);
+/// let meter = EnergyMeter::for_traditional(&report);
+/// let activity = Activity { accesses: 1_000, ways_probed: 4_000, ..Activity::default() };
+/// assert!(meter.power_at_mhz(&activity, 200.0) > 0.0);
+/// # Ok::<(), molcache_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyMeter {
+    /// Energy per way/molecule probe (nJ).
+    pub probe_nj: f64,
+    /// Energy per line fill (nJ).
+    pub fill_nj: f64,
+    /// Energy per writeback (nJ).
+    pub writeback_nj: f64,
+    /// Energy per ASID comparison (nJ).
+    pub asid_compare_nj: f64,
+    /// Energy per Ulmo remote-tile search launch (nJ).
+    pub ulmo_search_nj: f64,
+}
+
+impl EnergyMeter {
+    /// Prices activity of a traditional set-associative cache.
+    pub fn for_traditional(report: &ArrayReport) -> Self {
+        let access_nj = report.energy_nj();
+        let assoc = report.config.assoc().max(1) as f64;
+        EnergyMeter {
+            probe_nj: access_nj / assoc,
+            fill_nj: access_nj,
+            writeback_nj: access_nj,
+            asid_compare_nj: 0.0,
+            ulmo_search_nj: 0.0,
+        }
+    }
+
+    /// Prices activity of a molecular cache whose molecules have the
+    /// geometry analyzed in `molecule_report`.
+    pub fn for_molecular(molecule_report: &ArrayReport, node: &TechNode) -> Self {
+        let molecule_nj = molecule_report.energy_nj();
+        EnergyMeter {
+            probe_nj: molecule_nj,
+            fill_nj: molecule_nj,
+            writeback_nj: molecule_nj,
+            asid_compare_nj: node.e_asid_compare / 1000.0,
+            // An Ulmo search decodes the region map and forwards the
+            // request over the intra-cluster interconnect; priced as a
+            // handful of molecule accesses worth of wires.
+            ulmo_search_nj: molecule_nj * 0.5,
+        }
+    }
+
+    /// Total dynamic energy of an activity record, in joules.
+    pub fn energy_j(&self, activity: &Activity) -> f64 {
+        let nj = activity.ways_probed as f64 * self.probe_nj
+            + activity.line_fills as f64 * self.fill_nj
+            + activity.writebacks as f64 * self.writeback_nj
+            + activity.asid_compares as f64 * self.asid_compare_nj
+            + activity.ulmo_searches as f64 * self.ulmo_search_nj;
+        nj * 1e-9
+    }
+
+    /// Average dynamic energy per serviced access, in nanojoules.
+    pub fn energy_per_access_nj(&self, activity: &Activity) -> f64 {
+        if activity.accesses == 0 {
+            0.0
+        } else {
+            self.energy_j(activity) * 1e9 / activity.accesses as f64
+        }
+    }
+
+    /// Dynamic power in watts when the cache services one access per
+    /// cycle at `freq_mhz` with this activity profile — the paper's power
+    /// metric.
+    pub fn power_at_mhz(&self, activity: &Activity, freq_mhz: f64) -> f64 {
+        self.energy_per_access_nj(activity) * freq_mhz / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacti::analyze;
+    use molcache_sim::CacheConfig;
+
+    fn traditional_meter() -> EnergyMeter {
+        let cfg = CacheConfig::new(1 << 20, 4, 64).unwrap();
+        EnergyMeter::for_traditional(&analyze(&cfg, &TechNode::nm70()))
+    }
+
+    #[test]
+    fn traditional_probe_sums_to_access_energy() {
+        let cfg = CacheConfig::new(1 << 20, 4, 64).unwrap();
+        let report = analyze(&cfg, &TechNode::nm70());
+        let meter = EnergyMeter::for_traditional(&report);
+        // One access probing all 4 ways costs exactly one access energy.
+        let act = Activity {
+            accesses: 1,
+            ways_probed: 4,
+            ..Activity::default()
+        };
+        let per_access = meter.energy_per_access_nj(&act);
+        assert!((per_access - report.energy_nj()).abs() / report.energy_nj() < 1e-9);
+    }
+
+    #[test]
+    fn fills_and_writebacks_add_energy() {
+        let meter = traditional_meter();
+        let base = Activity {
+            accesses: 100,
+            ways_probed: 400,
+            ..Activity::default()
+        };
+        let with_fills = Activity {
+            line_fills: 50,
+            writebacks: 10,
+            ..base
+        };
+        assert!(meter.energy_j(&with_fills) > meter.energy_j(&base));
+    }
+
+    #[test]
+    fn molecular_meter_prices_asid_and_ulmo() {
+        let node = TechNode::nm70();
+        let mol = CacheConfig::new(8 << 10, 1, 64).unwrap();
+        let meter = EnergyMeter::for_molecular(&analyze(&mol, &node), &node);
+        assert!(meter.asid_compare_nj > 0.0);
+        assert!(meter.ulmo_search_nj > 0.0);
+        let act = Activity {
+            accesses: 10,
+            ways_probed: 30,
+            asid_compares: 640,
+            ulmo_searches: 2,
+            ..Activity::default()
+        };
+        assert!(meter.energy_j(&act) > 0.0);
+    }
+
+    #[test]
+    fn empty_activity_is_zero_power() {
+        let meter = traditional_meter();
+        let act = Activity::default();
+        assert_eq!(meter.energy_per_access_nj(&act), 0.0);
+        assert_eq!(meter.power_at_mhz(&act, 200.0), 0.0);
+    }
+
+    #[test]
+    fn power_linear_in_frequency() {
+        let meter = traditional_meter();
+        let act = Activity {
+            accesses: 10,
+            ways_probed: 40,
+            ..Activity::default()
+        };
+        let p100 = meter.power_at_mhz(&act, 100.0);
+        let p300 = meter.power_at_mhz(&act, 300.0);
+        assert!((p300 / p100 - 3.0).abs() < 1e-9);
+    }
+}

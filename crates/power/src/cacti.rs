@@ -1,0 +1,157 @@
+//! The top-level analysis entry point (CACTI's role).
+
+use crate::energy::{access_energy, AccessMode, EnergyBreakdown};
+use crate::geometry::{search_space, Organization};
+use crate::tech::TechNode;
+use crate::timing::cycle_time_ns;
+use molcache_sim::CacheConfig;
+
+/// Result of analyzing one cache array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayReport {
+    /// The configuration analyzed.
+    pub config: CacheConfig,
+    /// The winning organization.
+    pub organization: Organization,
+    /// The access mode the analysis selected.
+    pub mode: AccessMode,
+    /// Per-component energy of one access.
+    pub energy: EnergyBreakdown,
+    /// Cycle time in nanoseconds.
+    pub cycle_time_ns: f64,
+}
+
+impl ArrayReport {
+    /// Energy per access in nanojoules.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy.total_nj()
+    }
+
+    /// Maximum operating frequency in MHz.
+    pub fn frequency_mhz(&self) -> f64 {
+        1000.0 / self.cycle_time_ns
+    }
+
+    /// Dynamic power in watts when accessed every cycle at `freq_mhz`.
+    ///
+    /// This matches the paper's methodology: "the power consumed by a
+    /// molecular cache is computed using the energy reported ... at the
+    /// frequency of the traditional cache to which \[it\] is being
+    /// compared".
+    pub fn power_at_mhz(&self, freq_mhz: f64) -> f64 {
+        // nJ * MHz = mW; convert to W.
+        self.energy_nj() * freq_mhz / 1000.0
+    }
+
+    /// Dynamic power at this array's own maximum frequency.
+    pub fn power_w(&self) -> f64 {
+        self.power_at_mhz(self.frequency_mhz())
+    }
+}
+
+/// Analyzes a cache array at a technology node.
+///
+/// Performs the organization search (fastest organization wins; energy
+/// breaks ties) under the access mode CACTI-era tools pick for the
+/// associativity ([`AccessMode::for_assoc`]).
+///
+/// # Panics
+///
+/// Panics if no feasible organization exists (cannot happen for the
+/// power-of-two geometries [`CacheConfig`] accepts within 4 KB – 64 MB).
+pub fn analyze(cfg: &CacheConfig, node: &TechNode) -> ArrayReport {
+    analyze_with_mode(cfg, node, AccessMode::for_assoc(cfg.assoc()))
+}
+
+/// Analyzes with an explicit access mode (for mode-comparison studies).
+///
+/// # Panics
+///
+/// Panics if no feasible organization exists for the geometry.
+pub fn analyze_with_mode(cfg: &CacheConfig, node: &TechNode, mode: AccessMode) -> ArrayReport {
+    let mut best: Option<ArrayReport> = None;
+    for org in search_space() {
+        let Some(t) = cycle_time_ns(cfg, org, node, mode) else {
+            continue;
+        };
+        let Some(e) = access_energy(cfg, org, node, mode) else {
+            continue;
+        };
+        let candidate = ArrayReport {
+            config: *cfg,
+            organization: org,
+            mode,
+            energy: e,
+            cycle_time_ns: t,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                // Lexicographic: ~5% delay band, then min energy.
+                if candidate.cycle_time_ns < b.cycle_time_ns * 0.95 {
+                    true
+                } else if candidate.cycle_time_ns <= b.cycle_time_ns * 1.05 {
+                    candidate.energy.total_pj() < b.energy.total_pj()
+                } else {
+                    false
+                }
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("no feasible organization for cache geometry")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> TechNode {
+        TechNode::nm70()
+    }
+
+    #[test]
+    fn analyze_picks_feasible_org() {
+        let cfg = CacheConfig::new(8 << 20, 4, 64).unwrap().with_ports(4);
+        let r = analyze(&cfg, &node());
+        assert!(r.cycle_time_ns > 0.0);
+        assert!(r.energy_nj() > 0.0);
+        assert_eq!(r.mode, AccessMode::Parallel);
+    }
+
+    #[test]
+    fn eight_way_uses_sequential_mode() {
+        let cfg = CacheConfig::new(8 << 20, 8, 64).unwrap().with_ports(4);
+        let r = analyze(&cfg, &node());
+        assert_eq!(r.mode, AccessMode::Sequential);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let cfg = CacheConfig::new(1 << 20, 4, 64).unwrap();
+        let r = analyze(&cfg, &node());
+        let p1 = r.power_at_mhz(100.0);
+        let p2 = r.power_at_mhz(200.0);
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+        assert!((r.power_w() - r.power_at_mhz(r.frequency_mhz())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn molecule_is_fast_and_cheap() {
+        let molecule = CacheConfig::new(8 << 10, 1, 64).unwrap();
+        let big = CacheConfig::new(8 << 20, 4, 64).unwrap().with_ports(4);
+        let rm = analyze(&molecule, &node());
+        let rb = analyze(&big, &node());
+        assert!(rm.energy_nj() < rb.energy_nj() / 20.0);
+        assert!(rm.cycle_time_ns < rb.cycle_time_ns);
+    }
+
+    #[test]
+    fn frequency_inverse_of_cycle() {
+        let cfg = CacheConfig::new(64 << 10, 2, 64).unwrap();
+        let r = analyze(&cfg, &node());
+        assert!((r.frequency_mhz() * r.cycle_time_ns - 1000.0).abs() < 1e-6);
+    }
+}

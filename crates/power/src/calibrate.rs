@@ -1,0 +1,293 @@
+//! Calibration against the paper's Table 4 and molecular-power helpers.
+//!
+//! Table 4 of the paper (CACTI at 0.07 µm, 8 MB caches with four ports):
+//!
+//! | Cache     | Freq (MHz) | Power (W) |
+//! |-----------|-----------:|----------:|
+//! | 8MB DM    | 199        | 4.93      |
+//! | 8MB 2-way | 205        | 5.95      |
+//! | 8MB 4-way | 206        | 7.66      |
+//! | 8MB 8-way |  96        | 3.58      |
+//!
+//! and the 8 MB molecular cache (8 KB molecules, 512 KB tiles, 1 port per
+//! tile cluster): worst-case power 5.29–5.46 W at those frequencies,
+//! mixed-workload average 4.85–5.0 W. The headline: the molecular cache
+//! matches/beats the 8 MB 4-way's performance while drawing ~29 % less
+//! power (5.46 W vs 7.66 W).
+//!
+//! The [`TechNode::nm70`](crate::tech::TechNode::nm70) constants were
+//! fitted so the model lands near these anchors; tests in this module
+//! pin the *shape* (orderings, the 8-way frequency cliff, the ~29 % gap)
+//! with generous tolerances, and `EXPERIMENTS.md` records the exact
+//! model-vs-paper numbers.
+
+use crate::cacti::{analyze, ArrayReport};
+use crate::tech::TechNode;
+use molcache_sim::CacheConfig;
+
+/// One row of the paper's Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Anchor {
+    /// Configuration label as printed in the paper.
+    pub name: &'static str,
+    /// Associativity of the traditional cache.
+    pub assoc: u32,
+    /// Reported frequency in MHz.
+    pub freq_mhz: f64,
+    /// Reported power in watts.
+    pub power_w: f64,
+    /// Reported molecular worst-case power at this frequency (W).
+    pub mol_worst_w: f64,
+    /// Reported molecular average power for the mixed workload (W).
+    pub mol_avg_w: f64,
+}
+
+/// The paper's Table 4 values.
+pub fn paper_table4() -> [Table4Anchor; 4] {
+    [
+        Table4Anchor {
+            name: "8MB DM",
+            assoc: 1,
+            freq_mhz: 199.0,
+            power_w: 4.93,
+            mol_worst_w: 5.29,
+            mol_avg_w: 4.85,
+        },
+        Table4Anchor {
+            name: "8MB 2way",
+            assoc: 2,
+            freq_mhz: 205.0,
+            power_w: 5.95,
+            mol_worst_w: 5.45,
+            mol_avg_w: 4.99,
+        },
+        Table4Anchor {
+            name: "8MB 4way",
+            assoc: 4,
+            freq_mhz: 206.0,
+            power_w: 7.66,
+            mol_worst_w: 5.46,
+            mol_avg_w: 5.0,
+        },
+        Table4Anchor {
+            name: "8MB 8way",
+            assoc: 8,
+            freq_mhz: 96.0,
+            power_w: 3.58,
+            mol_worst_w: 2.55,
+            mol_avg_w: 2.34,
+        },
+    ]
+}
+
+/// The traditional-cache configuration of Table 3 (8 MB, four ports).
+pub fn table3_traditional(assoc: u32) -> CacheConfig {
+    CacheConfig::new(8 << 20, assoc, 64)
+        .expect("table 3 geometry is valid")
+        .with_ports(4)
+}
+
+/// The molecule geometry of Table 3 (8 KB direct mapped, 64 B lines).
+pub fn table3_molecule() -> CacheConfig {
+    CacheConfig::new(8 << 10, 1, 64).expect("molecule geometry is valid")
+}
+
+/// Analyzes the Table 3 molecule at a node.
+pub fn molecule_report(node: &TechNode) -> ArrayReport {
+    analyze(&table3_molecule(), node)
+}
+
+/// Worst-case molecular energy per access (nJ): all molecules of one tile
+/// enabled — the paper's §4 approximation.
+pub fn molecular_tile_energy_nj(
+    molecule_size: u64,
+    tile_size: u64,
+    node: &TechNode,
+) -> f64 {
+    assert!(
+        tile_size >= molecule_size && tile_size.is_multiple_of(molecule_size),
+        "tile must hold a whole number of molecules"
+    );
+    let molecules_per_tile = (tile_size / molecule_size) as f64;
+    let mol = analyze(
+        &CacheConfig::new(molecule_size, 1, 64).expect("molecule geometry"),
+        node,
+    );
+    // Every molecule in the tile performs the ASID compare; matching
+    // molecules (worst case: all of them) perform the full probe. The
+    // selected line is then routed across the tile's span to its port.
+    let tile_bits = (tile_size * 8) as f64;
+    let line_bits = 64.0 * 8.0;
+    let tile_route_pj = node.e_route
+        * tile_bits.powf(crate::energy::ROUTE_SPAN_EXP)
+        * (crate::energy::ROUTE_CTRL_BITS + line_bits);
+    molecules_per_tile * (mol.energy_nj() + node.e_asid_compare / 1000.0)
+        + tile_route_pj / 1000.0
+}
+
+/// Worst-case molecular power (W) at a comparison frequency — the number
+/// the paper reports in Table 4's "mol. power worst case" column.
+pub fn molecular_worst_power_w(
+    molecule_size: u64,
+    tile_size: u64,
+    node: &TechNode,
+    freq_mhz: f64,
+) -> f64 {
+    molecular_tile_energy_nj(molecule_size, tile_size, node) * freq_mhz / 1000.0
+}
+
+/// A modeled Table 4 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeledRow {
+    /// Anchor this row corresponds to.
+    pub anchor: Table4Anchor,
+    /// Model frequency (MHz).
+    pub model_freq_mhz: f64,
+    /// Model power (W) at the model frequency.
+    pub model_power_w: f64,
+    /// Model molecular worst-case power (W) at the model frequency.
+    pub model_mol_worst_w: f64,
+}
+
+/// Computes the model's version of Table 4 (traditional columns and the
+/// molecular worst case; the molecular *average* column needs measured
+/// activity and lives in the benchmark harness).
+pub fn model_table4(node: &TechNode) -> Vec<ModeledRow> {
+    paper_table4()
+        .into_iter()
+        .map(|anchor| {
+            let report = analyze(&table3_traditional(anchor.assoc), node);
+            let f = report.frequency_mhz();
+            ModeledRow {
+                anchor,
+                model_freq_mhz: f,
+                model_power_w: report.power_at_mhz(f),
+                model_mol_worst_w: molecular_worst_power_w(8 << 10, 512 << 10, node, f),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_ordering_matches_paper() {
+        let node = TechNode::nm70();
+        let e: Vec<f64> = [1u32, 2, 4]
+            .iter()
+            .map(|&a| analyze(&table3_traditional(a), &node).energy_nj())
+            .collect();
+        assert!(e[0] < e[1] && e[1] < e[2], "energy ordering {e:?}");
+    }
+
+    #[test]
+    fn eight_way_frequency_cliff() {
+        let node = TechNode::nm70();
+        let f4 = analyze(&table3_traditional(4), &node).frequency_mhz();
+        let f8 = analyze(&table3_traditional(8), &node).frequency_mhz();
+        assert!(f8 < 0.65 * f4, "8-way must be far slower: {f8} vs {f4}");
+    }
+
+    #[test]
+    fn parallel_frequencies_are_close() {
+        let node = TechNode::nm70();
+        let f: Vec<f64> = [1u32, 2, 4]
+            .iter()
+            .map(|&a| analyze(&table3_traditional(a), &node).frequency_mhz())
+            .collect();
+        let spread = (f.iter().cloned().fold(f64::MIN, f64::max)
+            - f.iter().cloned().fold(f64::MAX, f64::min))
+            / f[0];
+        assert!(spread < 0.25, "DM/2w/4w frequencies should be close: {f:?}");
+    }
+
+    #[test]
+    fn molecular_advantage_near_29_percent() {
+        let node = TechNode::nm70();
+        let four_way = analyze(&table3_traditional(4), &node);
+        let f = four_way.frequency_mhz();
+        let p_trad = four_way.power_at_mhz(f);
+        let p_mol = molecular_worst_power_w(8 << 10, 512 << 10, &node, f);
+        let advantage = 1.0 - p_mol / p_trad;
+        assert!(
+            (0.18..=0.42).contains(&advantage),
+            "molecular advantage {advantage:.3} outside band (paper: 0.29); \
+             p_mol={p_mol:.2}W p_trad={p_trad:.2}W"
+        );
+    }
+
+    #[test]
+    fn anchors_within_tolerance() {
+        // Absolute calibration: model frequencies within 15% of the paper
+        // and parallel-mode powers within 15%. The 8-way's absolute power
+        // is known to come out low (our sequential mode prices exactly one
+        // data way; CACTI's intermediate regime reads more) — its shape is
+        // pinned instead: lowest power of the four, at ~half frequency.
+        // EXPERIMENTS.md records the residuals.
+        let node = TechNode::nm70();
+        let rows = model_table4(&node);
+        for row in &rows {
+            let fe = (row.model_freq_mhz - row.anchor.freq_mhz).abs() / row.anchor.freq_mhz;
+            assert!(
+                fe < 0.15,
+                "{}: model {:.0} MHz vs paper {:.0} MHz",
+                row.anchor.name,
+                row.model_freq_mhz,
+                row.anchor.freq_mhz
+            );
+            if row.anchor.assoc < 8 {
+                let pe =
+                    (row.model_power_w - row.anchor.power_w).abs() / row.anchor.power_w;
+                assert!(
+                    pe < 0.15,
+                    "{}: model {:.2} W vs paper {:.2} W",
+                    row.anchor.name,
+                    row.model_power_w,
+                    row.anchor.power_w
+                );
+            }
+        }
+        let p8 = rows.iter().find(|r| r.anchor.assoc == 8).unwrap();
+        assert!(
+            rows.iter().all(|r| r.anchor.assoc == 8
+                || p8.model_power_w < r.model_power_w),
+            "8-way must draw the least power (Table 4 shape)"
+        );
+    }
+
+    #[test]
+    fn molecular_worst_case_tracks_paper_column() {
+        // Table 4's "mol. power worst case" column, at the model's own
+        // comparison frequencies.
+        let node = TechNode::nm70();
+        for row in model_table4(&node) {
+            let err = (row.model_mol_worst_w - row.anchor.mol_worst_w).abs()
+                / row.anchor.mol_worst_w;
+            assert!(
+                err < 0.20,
+                "{}: model mol worst {:.2} W vs paper {:.2} W",
+                row.anchor.name,
+                row.model_mol_worst_w,
+                row.anchor.mol_worst_w
+            );
+        }
+    }
+
+    #[test]
+    fn tile_energy_scales_with_molecule_count() {
+        let node = TechNode::nm70();
+        let half = molecular_tile_energy_nj(8 << 10, 256 << 10, &node);
+        let full = molecular_tile_energy_nj(8 << 10, 512 << 10, &node);
+        // Molecule probes double; the tile-span routing term grows
+        // sublinearly, so the ratio sits just under 2.
+        assert!(full > 1.8 * half && full < 2.0 * half, "half {half} full {full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of molecules")]
+    fn ragged_tile_panics() {
+        molecular_tile_energy_nj(8 << 10, (512 << 10) + 1, &TechNode::nm70());
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-access dynamic energy, by component.
+
+use crate::geometry::{self, Organization, SubarrayDims};
+use crate::tech::TechNode;
+use molcache_sim::CacheConfig;
+
+/// How tag and data arrays are sequenced on an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// Tag and all data ways read in parallel; way select at the end.
+    /// Fast, but pays data-array energy for every way.
+    Parallel,
+    /// Tag phase first, then only the matching data way is read.
+    /// Roughly halves the data-array energy at high associativity but
+    /// serializes the phases (CACTI selects this regime for 8-way arrays,
+    /// which is why the paper's Table 4 shows the 8 MB 8-way at 96 MHz
+    /// drawing *less* power than the 4-way).
+    Sequential,
+}
+
+impl AccessMode {
+    /// The mode CACTI-era tools use for the given associativity.
+    pub fn for_assoc(assoc: u32) -> AccessMode {
+        if assoc >= 8 {
+            AccessMode::Sequential
+        } else {
+            AccessMode::Parallel
+        }
+    }
+}
+
+/// Energy per access, split by component, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Row decoders of activated subarrays.
+    pub decode_pj: f64,
+    /// Data bitline discharge + precharge.
+    pub data_bitline_pj: f64,
+    /// Data wordlines + sense amps.
+    pub data_column_pj: f64,
+    /// Tag bitlines, wordlines, sense amps.
+    pub tag_array_pj: f64,
+    /// Tag comparators.
+    pub compare_pj: f64,
+    /// Output drivers (the selected line to the bus).
+    pub output_pj: f64,
+    /// H-tree / inter-subarray routing.
+    pub route_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy per access in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.decode_pj
+            + self.data_bitline_pj
+            + self.data_column_pj
+            + self.tag_array_pj
+            + self.compare_pj
+            + self.output_pj
+            + self.route_pj
+    }
+
+    /// Total energy per access in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.total_pj() / 1000.0
+    }
+}
+
+/// Address/control distribution priced per routing trip (effective bits
+/// of address, way-enable and timing signals broadcast across the array).
+pub const ROUTE_CTRL_BITS: f64 = 700.0;
+
+/// Exponent of the routing-span term. An H-tree's wire length grows with
+/// the array's linear dimension; fitted at 0.6 of total bits (between the
+/// pure-perimeter 0.5 and the repeater-heavy regimes CACTI reports for
+/// multi-megabyte arrays).
+pub const ROUTE_SPAN_EXP: f64 = 0.6;
+
+/// Computes the per-access energy for a configuration under a chosen
+/// organization, or `None` if the organization is infeasible.
+pub fn access_energy(
+    cfg: &CacheConfig,
+    org: Organization,
+    node: &TechNode,
+    mode: AccessMode,
+) -> Option<EnergyBreakdown> {
+    let data = geometry::data_dims(cfg, org)?;
+    let tagw = geometry::tag_width(cfg);
+    let assoc = cfg.assoc() as f64;
+    let pe = node.port_energy(cfg.ports());
+    let line_bits = (cfg.line_size() * 8) as f64;
+    let total_bits = (cfg.size_bytes() * 8) as f64;
+
+    // Ways actually read from the data array: parallel reads all ways,
+    // sequential reads only the tag-matched one. `phases` counts routing
+    // round-trips (sequential pays the control distribution twice).
+    let (data_ways_read, phases) = match mode {
+        AccessMode::Parallel => (assoc, 1.0),
+        AccessMode::Sequential => (1.0, 2.0),
+    };
+    let data_fraction = data_ways_read / assoc;
+
+    let SubarrayDims {
+        rows,
+        cols,
+        active_subarrays,
+    } = data;
+
+    let decode_pj =
+        node.e_decode * (rows.max(2) as f64).log2() * active_subarrays as f64 * pe;
+    // Bitline energy: the stripe's activated columns, each with bitline
+    // capacitance proportional to the subarray row count. Sequential mode
+    // only discharges the selected way's share.
+    let data_bitline_pj = node.e_bitline
+        * rows as f64
+        * cols as f64
+        * active_subarrays as f64
+        * data_fraction
+        * pe;
+    // Wordline + sense energy of the logical columns read out.
+    let data_column_pj = node.e_column * line_bits * data_ways_read * pe;
+
+    // Tag array: same row count; tag columns are tag_width * assoc * nspd.
+    let tag_cols = (tagw * cfg.assoc() as u64 * org.nspd as u64) as f64;
+    let tag_array_pj =
+        (node.e_bitline * rows as f64 * tag_cols + node.e_column * tag_cols) * pe;
+    let compare_pj = node.e_compare * tagw as f64 * assoc;
+
+    let output_pj = node.e_output * line_bits;
+    // Routing: distribute address/control across the array and move the
+    // read ways' bits over an H-tree whose span grows with the array's
+    // size. This is the term that makes a big monolithic cache pay
+    // per-way energy that a small molecule does not.
+    let route_pj = node.e_route
+        * total_bits.powf(ROUTE_SPAN_EXP)
+        * (ROUTE_CTRL_BITS * phases + line_bits * data_ways_read);
+
+    Some(EnergyBreakdown {
+        decode_pj,
+        data_bitline_pj,
+        data_column_pj,
+        tag_array_pj,
+        compare_pj,
+        output_pj,
+        route_pj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> TechNode {
+        TechNode::nm70()
+    }
+
+    #[test]
+    fn bigger_cache_costs_more() {
+        let small = CacheConfig::new(8 << 10, 1, 64).unwrap();
+        let big = CacheConfig::new(8 << 20, 1, 64).unwrap();
+        let e_small = access_energy(&small, Organization::MONOLITHIC, &node(), AccessMode::Parallel)
+            .unwrap()
+            .total_pj();
+        // Pick the best (min-energy) feasible org for the big cache.
+        let e_big = crate::geometry::search_space()
+            .filter_map(|o| access_energy(&big, o, &node(), AccessMode::Parallel))
+            .map(|e| e.total_pj())
+            .fold(f64::INFINITY, f64::min);
+        assert!(e_big > 10.0 * e_small, "big {e_big} vs small {e_small}");
+    }
+
+    #[test]
+    fn associativity_costs_energy_in_parallel_mode() {
+        let mk = |a| CacheConfig::new(8 << 20, a, 64).unwrap();
+        let best = |cfg: &CacheConfig| {
+            crate::geometry::search_space()
+                .filter_map(|o| access_energy(cfg, o, &node(), AccessMode::Parallel))
+                .map(|e| e.total_pj())
+                .fold(f64::INFINITY, f64::min)
+        };
+        let e1 = best(&mk(1));
+        let e2 = best(&mk(2));
+        let e4 = best(&mk(4));
+        assert!(e1 < e2 && e2 < e4, "{e1} {e2} {e4}");
+    }
+
+    #[test]
+    fn sequential_mode_cheaper_at_high_assoc() {
+        let cfg = CacheConfig::new(8 << 20, 8, 64).unwrap();
+        let best = |mode| {
+            crate::geometry::search_space()
+                .filter_map(|o| access_energy(&cfg, o, &node(), mode))
+                .map(|e: EnergyBreakdown| e.total_pj())
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(best(AccessMode::Sequential) < best(AccessMode::Parallel));
+    }
+
+    #[test]
+    fn ports_scale_energy() {
+        let cfg1 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(1);
+        let cfg4 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(4);
+        let e1 = access_energy(&cfg1, Organization::MONOLITHIC, &node(), AccessMode::Parallel);
+        let e4 = access_energy(&cfg4, Organization::MONOLITHIC, &node(), AccessMode::Parallel);
+        // Monolithic may be infeasible for 1MB (4096 rows ok, 2048 cols ok).
+        let (e1, e4) = (e1.unwrap(), e4.unwrap());
+        assert!(e4.data_bitline_pj > e1.data_bitline_pj * 2.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let cfg = CacheConfig::new(64 << 10, 2, 64).unwrap();
+        let e = access_energy(&cfg, Organization::MONOLITHIC, &node(), AccessMode::Parallel)
+            .unwrap();
+        let sum = e.decode_pj
+            + e.data_bitline_pj
+            + e.data_column_pj
+            + e.tag_array_pj
+            + e.compare_pj
+            + e.output_pj
+            + e.route_pj;
+        assert!((e.total_pj() - sum).abs() < 1e-9);
+        assert!((e.total_nj() - sum / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_selection_by_assoc() {
+        assert_eq!(AccessMode::for_assoc(1), AccessMode::Parallel);
+        assert_eq!(AccessMode::for_assoc(4), AccessMode::Parallel);
+        assert_eq!(AccessMode::for_assoc(8), AccessMode::Sequential);
+        assert_eq!(AccessMode::for_assoc(16), AccessMode::Sequential);
+    }
+}

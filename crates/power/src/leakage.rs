@@ -1,0 +1,88 @@
+//! Static (leakage) power.
+//!
+//! The paper's §4 notes: "The leakage power consumption remains unaffected
+//! in molecular cache" — selective enablement gates *dynamic* energy only;
+//! every molecule's SRAM cells keep leaking whether its ASID matches or
+//! not. This module makes that statement checkable: leakage depends only
+//! on total capacity (and node), so an 8 MB molecular cache and an 8 MB
+//! traditional cache report identical static power.
+//!
+//! The model is the standard first-order one: leakage scales linearly
+//! with bit count, with a per-node coefficient that *grows* as feature
+//! size shrinks (sub-threshold leakage worsens with scaling — the reverse
+//! of dynamic energy).
+
+use crate::tech::TechNode;
+
+/// Leakage power per megabit at 70 nm, in milliwatts. Chosen so an 8 MB
+/// array leaks ~1.9 W — the right order for large sub-100 nm SRAM of the
+/// paper's era (leakage approaching half the total power budget).
+pub const MW_PER_MBIT_70NM: f64 = 30.0;
+
+/// Exponent of the inverse feature-size scaling of leakage.
+const LEAKAGE_SCALING_EXP: f64 = 1.5;
+
+/// Static power of `size_bytes` of SRAM at `node`, in watts.
+///
+/// ```
+/// use molcache_power::{leakage::leakage_w, tech::TechNode};
+/// let node = TechNode::nm70();
+/// let w8mb = leakage_w(8 << 20, &node);
+/// let w1mb = leakage_w(1 << 20, &node);
+/// assert!((w8mb / w1mb - 8.0).abs() < 1e-9); // linear in capacity
+/// ```
+pub fn leakage_w(size_bytes: u64, node: &TechNode) -> f64 {
+    let mbits = (size_bytes * 8) as f64 / 1.0e6;
+    let scale = (70.0 / node.feature_nm).powf(LEAKAGE_SCALING_EXP);
+    mbits * MW_PER_MBIT_70NM * scale / 1000.0
+}
+
+/// Leakage of a molecular cache: the sum over all molecules, which is by
+/// construction identical to a monolithic array of the same capacity —
+/// the paper's "unaffected" claim.
+pub fn molecular_leakage_w(
+    molecule_size: u64,
+    total_molecules: usize,
+    node: &TechNode,
+) -> f64 {
+    leakage_w(molecule_size * total_molecules as u64, node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_capacity() {
+        let node = TechNode::nm70();
+        let a = leakage_w(1 << 20, &node);
+        let b = leakage_w(4 << 20, &node);
+        assert!((b / a - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn molecular_equals_monolithic() {
+        // The paper's claim: selective enablement does not change leakage.
+        let node = TechNode::nm70();
+        let molecular = molecular_leakage_w(8 << 10, 1024, &node); // 8 MB
+        let monolithic = leakage_w(8 << 20, &node);
+        assert!((molecular - monolithic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_worsens_at_smaller_nodes() {
+        let n70 = TechNode::nm70();
+        let n100 = TechNode::nm100();
+        assert!(
+            leakage_w(1 << 20, &n70) > leakage_w(1 << 20, &n100),
+            "sub-threshold leakage grows as features shrink"
+        );
+    }
+
+    #[test]
+    fn eight_mb_order_of_magnitude() {
+        let node = TechNode::nm70();
+        let w = leakage_w(8 << 20, &node);
+        assert!((1.0..4.0).contains(&w), "8MB leakage {w:.2} W");
+    }
+}

@@ -1,0 +1,40 @@
+//! # molcache-power — CACTI-like cache energy and timing model
+//!
+//! The paper derives all power numbers from CACTI \[12\] at 0.07 µm. CACTI
+//! is an *analytical* model: it partitions the cache into subarrays,
+//! computes per-component energies/delays (decoder, wordline, bitline,
+//! sense amps, tag path, comparators, output path, routing) over a search
+//! of organizations, and reports the best. This crate implements the same
+//! structure:
+//!
+//! * [`tech`] — technology-node constants (70 nm default, the paper's
+//!   node), with scaling to neighbouring nodes.
+//! * [`geometry`] — the subarray organization (`Ndwl`/`Ndbl`/`Nspd`) and
+//!   its search space.
+//! * [`energy`] / [`timing`] — per-component models.
+//! * [`cacti`] — the top-level [`cacti::analyze`] entry point producing an
+//!   [`cacti::ArrayReport`] (energy breakdown, access time, best
+//!   organization) and power-at-frequency helpers.
+//! * [`accounting`] — converts the simulators' activity event counts
+//!   (`molcache_sim::Activity`) into joules and watts.
+//! * [`calibrate`] — the constants-fit against the paper's Table 4
+//!   anchors, plus the molecular-cache power helpers (worst case = all
+//!   molecules of a tile enabled; average = measured molecule probes).
+//!
+//! The model is calibrated, not transistor-exact: tests pin the Table 4
+//! *shape* (energy ordering DM < 2-way < 4-way, the 8-way frequency
+//! cliff, and the ~29 % molecular power advantage) rather than absolute
+//! watts. See `EXPERIMENTS.md` for paper-vs-model numbers.
+
+pub mod accounting;
+pub mod cacti;
+pub mod calibrate;
+pub mod energy;
+pub mod geometry;
+pub mod leakage;
+pub mod tech;
+pub mod timing;
+
+pub use accounting::EnergyMeter;
+pub use cacti::{analyze, ArrayReport};
+pub use tech::TechNode;

@@ -1,0 +1,177 @@
+//! Technology-node constants.
+//!
+//! Constants are expressed per primitive event (per bitline bit-row unit,
+//! per column, per decoded bit, …) at the 70 nm node the paper uses, and
+//! scaled analytically to neighbouring nodes: dynamic energy scales
+//! roughly with `CV²` (≈ feature^1.7 across this era's nodes) and delay
+//! roughly linearly with feature size.
+
+/// A CMOS technology node with the fitted model constants.
+///
+/// All energies are in picojoules per event; all delays in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechNode {
+    /// Human-readable name, e.g. `"70nm"`.
+    pub name: &'static str,
+    /// Feature size in nanometres.
+    pub feature_nm: f64,
+
+    // --- energy constants (pJ) ---
+    /// Bitline energy per (row × column) unit discharged.
+    pub e_bitline: f64,
+    /// Wordline + sense-amp energy per activated column.
+    pub e_column: f64,
+    /// Decoder energy per decoded address bit per activated subarray.
+    pub e_decode: f64,
+    /// Tag comparator energy per tag bit per way.
+    pub e_compare: f64,
+    /// Output-driver energy per data bit driven to the bus.
+    pub e_output: f64,
+    /// H-tree routing energy per bit moved per sqrt(total bits) of array
+    /// span.
+    pub e_route: f64,
+    /// ASID comparator energy per comparison (molecular cache, §3.1).
+    pub e_asid_compare: f64,
+
+    // --- timing constants (ns) ---
+    /// Decoder delay per decoded address bit.
+    pub t_decode: f64,
+    /// Wordline delay per activated column.
+    pub t_wordline: f64,
+    /// Bitline + sense delay per subarray row.
+    pub t_bitline: f64,
+    /// Fixed sense-amp resolution time.
+    pub t_sense: f64,
+    /// Comparator delay per log2(tag bits).
+    pub t_compare: f64,
+    /// Routing delay per sqrt(total bits).
+    pub t_route: f64,
+
+    // --- structural factors ---
+    /// Energy multiplier per additional read/write port.
+    pub port_energy_factor: f64,
+    /// Delay multiplier per additional read/write port.
+    pub port_delay_factor: f64,
+}
+
+impl TechNode {
+    /// The paper's node: 0.07 µm, the constants fitted in
+    /// [`crate::calibrate`].
+    pub fn nm70() -> Self {
+        TechNode {
+            name: "70nm",
+            feature_nm: 70.0,
+            // Fitted against Table 4 anchors (see calibrate.rs).
+            e_bitline: 2.72e-3,
+            e_column: 0.35,
+            e_decode: 0.05,
+            e_compare: 0.30,
+            e_output: 0.002,
+            e_route: 1.42e-4,
+            e_asid_compare: 0.05,
+            t_decode: 0.050,
+            t_wordline: 0.0011,
+            t_bitline: 0.0004,
+            t_sense: 0.25,
+            t_compare: 0.10,
+            t_route: 2.69e-4,
+            port_energy_factor: 0.60,
+            port_delay_factor: 0.12,
+        }
+    }
+
+    /// Scales the 70 nm constants to another feature size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_nm` is not positive.
+    pub fn scaled_to(feature_nm: f64, name: &'static str) -> Self {
+        assert!(feature_nm > 0.0, "feature size must be positive");
+        let base = TechNode::nm70();
+        let s = feature_nm / base.feature_nm;
+        let es = s.powf(1.7);
+        let ts = s;
+        TechNode {
+            name,
+            feature_nm,
+            e_bitline: base.e_bitline * es,
+            e_column: base.e_column * es,
+            e_decode: base.e_decode * es,
+            e_compare: base.e_compare * es,
+            e_output: base.e_output * es,
+            e_route: base.e_route * es,
+            e_asid_compare: base.e_asid_compare * es,
+            t_decode: base.t_decode * ts,
+            t_wordline: base.t_wordline * ts,
+            t_bitline: base.t_bitline * ts,
+            t_sense: base.t_sense * ts,
+            t_compare: base.t_compare * ts,
+            t_route: base.t_route * ts,
+            port_energy_factor: base.port_energy_factor,
+            port_delay_factor: base.port_delay_factor,
+        }
+    }
+
+    /// The 100 nm node.
+    pub fn nm100() -> Self {
+        TechNode::scaled_to(100.0, "100nm")
+    }
+
+    /// The 130 nm node.
+    pub fn nm130() -> Self {
+        TechNode::scaled_to(130.0, "130nm")
+    }
+
+    /// Total energy multiplier for `ports` read/write ports.
+    pub fn port_energy(&self, ports: u32) -> f64 {
+        1.0 + self.port_energy_factor * (ports.max(1) - 1) as f64
+    }
+
+    /// Total delay multiplier for `ports` read/write ports.
+    pub fn port_delay(&self, ports: u32) -> f64 {
+        1.0 + self.port_delay_factor * (ports.max(1) - 1) as f64
+    }
+}
+
+impl Default for TechNode {
+    fn default() -> Self {
+        TechNode::nm70()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_70nm() {
+        assert_eq!(TechNode::default().name, "70nm");
+        assert_eq!(TechNode::default().feature_nm, 70.0);
+    }
+
+    #[test]
+    fn scaling_monotone() {
+        let n70 = TechNode::nm70();
+        let n100 = TechNode::nm100();
+        let n130 = TechNode::nm130();
+        assert!(n100.e_bitline > n70.e_bitline);
+        assert!(n130.e_bitline > n100.e_bitline);
+        assert!(n100.t_sense > n70.t_sense);
+    }
+
+    #[test]
+    fn port_factors() {
+        let n = TechNode::nm70();
+        assert_eq!(n.port_energy(1), 1.0);
+        assert!(n.port_energy(4) > n.port_energy(2));
+        assert!(n.port_delay(4) > 1.0);
+        // ports = 0 treated as 1
+        assert_eq!(n.port_energy(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_feature_panics() {
+        TechNode::scaled_to(0.0, "bad");
+    }
+}

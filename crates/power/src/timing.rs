@@ -1,0 +1,123 @@
+//! Access / cycle time model.
+
+use crate::energy::AccessMode;
+use crate::geometry::{self, Organization};
+use crate::tech::TechNode;
+use molcache_sim::CacheConfig;
+
+/// Delay per access, split by pipeline segment, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelayBreakdown {
+    /// Row decode.
+    pub decode_ns: f64,
+    /// Wordline rise across the activated stripe.
+    pub wordline_ns: f64,
+    /// Bitline swing + sensing.
+    pub bitline_ns: f64,
+    /// Tag compare (+ way select).
+    pub compare_ns: f64,
+    /// H-tree routing to/from the subarrays.
+    pub route_ns: f64,
+}
+
+impl DelayBreakdown {
+    /// Single-phase array delay (everything except mode sequencing).
+    pub fn array_ns(&self) -> f64 {
+        self.decode_ns + self.wordline_ns + self.bitline_ns + self.compare_ns + self.route_ns
+    }
+}
+
+/// Computes the cycle time for a configuration under an organization, or
+/// `None` if the organization is infeasible.
+///
+/// In [`AccessMode::Sequential`] the tag phase and the data phase cannot
+/// overlap, so the cycle time is close to twice the single-phase delay —
+/// the regime behind the paper's 96 MHz 8 MB 8-way entry.
+pub fn cycle_time_ns(
+    cfg: &CacheConfig,
+    org: Organization,
+    node: &TechNode,
+    mode: AccessMode,
+) -> Option<f64> {
+    let d = delay_breakdown(cfg, org, node)?;
+    let pd = node.port_delay(cfg.ports());
+    let single = d.array_ns() * pd;
+    Some(match mode {
+        AccessMode::Parallel => single,
+        AccessMode::Sequential => {
+            // Tag phase (decode + tag bitline + compare) then data phase
+            // (decode + data bitline + route). Approximate both as the
+            // full single-phase delay minus the overlap of decode.
+            2.0 * single - d.decode_ns * pd
+        }
+    })
+}
+
+/// Computes the per-segment delays for the data-array critical path.
+pub fn delay_breakdown(
+    cfg: &CacheConfig,
+    org: Organization,
+    node: &TechNode,
+) -> Option<DelayBreakdown> {
+    let dims = geometry::data_dims(cfg, org)?;
+    let tagw = geometry::tag_width(cfg);
+    let total_bits = (cfg.size_bytes() * 8) as f64;
+    Some(DelayBreakdown {
+        decode_ns: node.t_decode * (dims.rows.max(2) as f64).log2(),
+        wordline_ns: node.t_wordline * dims.cols as f64,
+        bitline_ns: node.t_bitline * dims.rows as f64 + node.t_sense,
+        compare_ns: node.t_compare * (tagw.max(2) as f64).log2(),
+        route_ns: node.t_route * total_bits.sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> TechNode {
+        TechNode::nm70()
+    }
+
+    fn best_cycle(cfg: &CacheConfig, mode: AccessMode) -> f64 {
+        crate::geometry::search_space()
+            .filter_map(|o| cycle_time_ns(cfg, o, &node(), mode))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn bigger_caches_are_slower() {
+        let small = CacheConfig::new(8 << 10, 1, 64).unwrap();
+        let big = CacheConfig::new(8 << 20, 1, 64).unwrap();
+        assert!(
+            best_cycle(&big, AccessMode::Parallel) > best_cycle(&small, AccessMode::Parallel)
+        );
+    }
+
+    #[test]
+    fn sequential_roughly_doubles_time() {
+        let cfg = CacheConfig::new(8 << 20, 8, 64).unwrap();
+        let p = best_cycle(&cfg, AccessMode::Parallel);
+        let s = best_cycle(&cfg, AccessMode::Sequential);
+        assert!(s > 1.6 * p, "sequential {s} vs parallel {p}");
+        assert!(s < 2.2 * p, "sequential {s} vs parallel {p}");
+    }
+
+    #[test]
+    fn ports_slow_the_array() {
+        let cfg1 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(1);
+        let cfg4 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(4);
+        assert!(
+            best_cycle(&cfg4, AccessMode::Parallel) > best_cycle(&cfg1, AccessMode::Parallel)
+        );
+    }
+
+    #[test]
+    fn breakdown_components_positive() {
+        let cfg = CacheConfig::new(64 << 10, 2, 64).unwrap();
+        let d = delay_breakdown(&cfg, Organization::MONOLITHIC, &node()).unwrap();
+        assert!(d.decode_ns > 0.0);
+        assert!(d.bitline_ns > 0.0);
+        assert!(d.array_ns() >= d.bitline_ns);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the power model: the analytical relationships
+//! that must hold for *any* valid geometry, not just the Table 4 anchors.
+
+use molcache_power::cacti::{analyze, analyze_with_mode};
+use molcache_power::energy::AccessMode;
+use molcache_power::leakage::leakage_w;
+use molcache_power::tech::TechNode;
+use molcache_sim::CacheConfig;
+use proptest::prelude::*;
+
+fn arbitrary_geometry() -> impl Strategy<Value = (u64, u32, u32)> {
+    // size 16KB..16MB (powers of two), assoc in {1,2,4,8}, ports 1..4.
+    (4u32..=14, 0u32..=3, 1u32..=4).prop_map(|(size_exp, assoc_exp, ports)| {
+        ((1u64 << 10) << size_exp, 1u32 << assoc_exp, ports)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every valid geometry analyzes to finite, positive energy and time.
+    #[test]
+    fn analysis_is_finite_and_positive((size, assoc, ports) in arbitrary_geometry()) {
+        let node = TechNode::nm70();
+        let cfg = CacheConfig::new(size, assoc, 64).unwrap().with_ports(ports);
+        let r = analyze(&cfg, &node);
+        prop_assert!(r.energy_nj().is_finite() && r.energy_nj() > 0.0);
+        prop_assert!(r.cycle_time_ns.is_finite() && r.cycle_time_ns > 0.0);
+        prop_assert!(r.frequency_mhz() > 1.0);
+    }
+
+    /// At fixed associativity and ports, energy grows with capacity.
+    #[test]
+    fn energy_monotone_in_size(assoc_exp in 0u32..=3, ports in 1u32..=4) {
+        let node = TechNode::nm70();
+        let assoc = 1u32 << assoc_exp;
+        let mut prev = 0.0;
+        for size_exp in [16u32, 18, 20, 22, 23] {
+            let cfg = CacheConfig::new(1u64 << size_exp, assoc, 64)
+                .unwrap()
+                .with_ports(ports);
+            let e = analyze(&cfg, &node).energy_nj();
+            prop_assert!(
+                e > prev,
+                "energy must grow with size: {e} after {prev} at 2^{size_exp}"
+            );
+            prev = e;
+        }
+    }
+
+    /// Sequential access mode never costs more energy than parallel (it
+    /// reads a subset of the data ways) and never runs faster.
+    #[test]
+    fn sequential_trades_time_for_energy((size, assoc, ports) in arbitrary_geometry()) {
+        prop_assume!(assoc >= 2);
+        let node = TechNode::nm70();
+        let cfg = CacheConfig::new(size, assoc, 64).unwrap().with_ports(ports);
+        let par = analyze_with_mode(&cfg, &node, AccessMode::Parallel);
+        let seq = analyze_with_mode(&cfg, &node, AccessMode::Sequential);
+        prop_assert!(seq.energy_nj() <= par.energy_nj() * 1.001);
+        prop_assert!(seq.cycle_time_ns >= par.cycle_time_ns * 0.999);
+    }
+
+    /// More ports never makes an array cheaper or faster.
+    #[test]
+    fn ports_cost_energy_and_time((size, assoc, _p) in arbitrary_geometry()) {
+        let node = TechNode::nm70();
+        let one = analyze(&CacheConfig::new(size, assoc, 64).unwrap(), &node);
+        let four = analyze(
+            &CacheConfig::new(size, assoc, 64).unwrap().with_ports(4),
+            &node,
+        );
+        prop_assert!(four.energy_nj() > one.energy_nj());
+        prop_assert!(four.cycle_time_ns > one.cycle_time_ns);
+    }
+
+    /// Leakage is exactly linear in capacity at any node.
+    #[test]
+    fn leakage_linear(size_exp in 14u32..=24) {
+        for node in [TechNode::nm70(), TechNode::nm100(), TechNode::nm130()] {
+            let one = leakage_w(1u64 << size_exp, &node);
+            let double = leakage_w(1u64 << (size_exp + 1), &node);
+            prop_assert!((double / one - 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The CMP front end: driving shared caches with multiprogrammed traces.
+//!
+//! This module replaces the role SESC plays in the paper: it runs several
+//! applications "concurrently" (interleaving their reference streams) on a
+//! shared cache and reports per-application miss rates — the measurement
+//! behind Table 1, Figure 5 and Table 2.
+
+use crate::model::{CacheModel, Request};
+use crate::stats::CacheStats;
+use molcache_trace::gen::{BoxedSource, TraceSource};
+use molcache_trace::interleave::Workload;
+use molcache_trace::{Asid, MemAccess};
+
+/// Result of driving a trace through a cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Global counters for the run window.
+    pub global: crate::stats::AppStats,
+    /// Per-application counters for the run window.
+    pub per_app: std::collections::BTreeMap<Asid, crate::stats::AppStats>,
+    /// Total latency accumulated across all accesses (cycles).
+    pub total_latency: u64,
+    /// Accesses driven.
+    pub accesses: u64,
+}
+
+impl RunSummary {
+    fn from_stats(stats: &CacheStats, total_latency: u64) -> Self {
+        RunSummary {
+            global: stats.global,
+            per_app: stats.per_app.clone(),
+            total_latency,
+            accesses: stats.global.accesses,
+        }
+    }
+
+    /// Miss rate of one application in this window (0.0 if absent).
+    pub fn app_miss_rate(&self, asid: Asid) -> f64 {
+        self.per_app
+            .get(&asid)
+            .map(|s| s.miss_rate())
+            .unwrap_or(0.0)
+    }
+
+    /// Average latency per access in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Drives up to `limit` accesses from an iterator of [`MemAccess`] through
+/// `cache`, measuring only this window (pre-existing stats are excluded).
+pub fn run_accesses<I, C>(accesses: I, cache: &mut C, limit: u64) -> RunSummary
+where
+    I: IntoIterator<Item = MemAccess>,
+    C: CacheModel + ?Sized,
+{
+    let before = cache.stats().clone();
+    let mut total_latency = 0u64;
+    for (n, acc) in accesses.into_iter().enumerate() {
+        if n as u64 >= limit {
+            break;
+        }
+        let out = cache.access(Request::from(acc));
+        total_latency += out.latency as u64;
+    }
+    RunSummary::from_stats(&cache.stats().since(&before), total_latency)
+}
+
+/// Drives a single application's stream through `cache`.
+pub fn run_source<S, C>(mut source: S, cache: &mut C, limit: u64) -> RunSummary
+where
+    S: TraceSource,
+    C: CacheModel + ?Sized,
+{
+    let before = cache.stats().clone();
+    let mut total_latency = 0u64;
+    for _ in 0..limit {
+        match source.next_access() {
+            Some(acc) => {
+                let out = cache.access(Request::from(acc));
+                total_latency += out.latency as u64;
+            }
+            None => break,
+        }
+    }
+    RunSummary::from_stats(&cache.stats().since(&before), total_latency)
+}
+
+/// Runs a multiprogrammed workload round-robin on a shared cache — the
+/// paper's "run concurrently on a CMP" setup.
+///
+/// # Errors
+///
+/// Propagates [`molcache_trace::TraceError`] from workload construction.
+pub fn run_shared<C>(
+    sources: Vec<BoxedSource>,
+    cache: &mut C,
+    limit: u64,
+) -> Result<RunSummary, molcache_trace::TraceError>
+where
+    C: CacheModel + ?Sized,
+{
+    let workload = Workload::new(sources)?;
+    Ok(run_accesses(workload.round_robin(), cache, limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::set_assoc::SetAssocCache;
+    use molcache_trace::gen::StrideSource;
+    use molcache_trace::presets::Benchmark;
+    use molcache_trace::Address;
+
+    #[test]
+    fn run_source_counts_window_only() {
+        let cfg = CacheConfig::new(64 * 1024, 4, 64).unwrap();
+        let mut cache = SetAssocCache::lru(cfg);
+        let src = StrideSource::new(Asid::new(1), Address::new(0), 32 * 1024, 64, 0.0, 1);
+        let first = run_source(src, &mut cache, 1_000);
+        assert_eq!(first.accesses, 1_000);
+        // Second window over the now-resident set: all hits.
+        let src2 = StrideSource::new(Asid::new(1), Address::new(0), 32 * 1024, 64, 0.0, 1);
+        let second = run_source(src2, &mut cache, 512);
+        assert_eq!(second.global.misses, 0, "stream fits: warm run must hit");
+    }
+
+    #[test]
+    fn shared_run_attributes_per_app() {
+        let cfg = CacheConfig::new(256 * 1024, 4, 64).unwrap();
+        let mut cache = SetAssocCache::lru(cfg);
+        let a = Benchmark::Ammp.source(Asid::new(1), 3);
+        let b = Benchmark::Mcf.source(Asid::new(2), 4);
+        let summary = run_shared(vec![a, b], &mut cache, 100_000).unwrap();
+        assert_eq!(summary.per_app.len(), 2);
+        let mr_ammp = summary.app_miss_rate(Asid::new(1));
+        let mr_mcf = summary.app_miss_rate(Asid::new(2));
+        assert!(
+            mr_mcf > mr_ammp,
+            "mcf ({mr_mcf}) must miss more than ammp ({mr_ammp})"
+        );
+    }
+
+    #[test]
+    fn avg_latency_reflects_miss_rate() {
+        let cfg = CacheConfig::new(64 * 1024, 4, 64).unwrap();
+        let mut cache = SetAssocCache::lru(cfg.with_hit_latency(10).with_miss_penalty(100));
+        // Stream fits entirely: after warmup, latency approaches hit cost.
+        let src = StrideSource::new(Asid::new(1), Address::new(0), 16 * 1024, 64, 0.0, 1);
+        run_source(src, &mut cache, 256); // warm
+        let src2 = StrideSource::new(Asid::new(1), Address::new(0), 16 * 1024, 64, 0.0, 1);
+        let s = run_source(src2, &mut cache, 1024);
+        assert!((s.avg_latency() - 10.0).abs() < 1e-9, "{}", s.avg_latency());
+    }
+
+    #[test]
+    fn limit_zero_is_empty_summary() {
+        let cfg = CacheConfig::new(64 * 1024, 4, 64).unwrap();
+        let mut cache = SetAssocCache::lru(cfg);
+        let src = StrideSource::new(Asid::new(1), Address::new(0), 1024, 64, 0.0, 1);
+        let s = run_source(src, &mut cache, 0);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.app_miss_rate(Asid::new(1)), 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal invalidation-based coherence for private L1s.
+//!
+//! The paper's workloads are multiprogrammed (disjoint address spaces), so
+//! coherence traffic never decides an experiment; Ulmo's coherence role is
+//! nonetheless part of the architecture. This module provides the
+//! substrate: an MSI directory that tracks which cores hold a line and
+//! generates the invalidations/downgrades a shared L2 (traditional or
+//! molecular) would issue.
+
+use molcache_trace::{AccessKind, Address, Asid};
+use std::collections::HashMap;
+
+/// Identifier of a core / private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoreId(pub u16);
+
+/// MSI state of one line in one core's private cache, as tracked by the
+/// directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Not present in the core.
+    Invalid,
+    /// Present, read-only, possibly in several cores.
+    Shared,
+    /// Present, writable, exclusive to one core.
+    Modified,
+}
+
+/// Coherence actions the directory asks the interconnect to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceAction {
+    /// Invalidate the line in the given core.
+    Invalidate(CoreId),
+    /// Downgrade the line in the given core from Modified to Shared
+    /// (writing data back).
+    Downgrade(CoreId),
+}
+
+#[derive(Debug, Default, Clone)]
+struct DirEntry {
+    sharers: Vec<CoreId>,
+    owner: Option<CoreId>,
+}
+
+/// A directory tracking per-line sharers/owner across private caches.
+///
+/// ```
+/// use molcache_sim::coherence::{Directory, CoreId};
+/// use molcache_trace::{Address, AccessKind, Asid};
+///
+/// let mut dir = Directory::new(64);
+/// let a = Address::new(0x100);
+/// // Core 0 reads, core 1 writes: core 0 must be invalidated.
+/// dir.on_access(CoreId(0), a, AccessKind::Read, Asid::new(1));
+/// let actions = dir.on_access(CoreId(1), a, AccessKind::Write, Asid::new(1));
+/// assert_eq!(actions.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    line_size: u64,
+    entries: HashMap<u64, DirEntry>,
+    invalidations: u64,
+    downgrades: u64,
+}
+
+impl Directory {
+    /// Creates a directory for caches with the given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    pub fn new(line_size: u64) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be 2^k");
+        Directory {
+            line_size,
+            entries: HashMap::new(),
+            invalidations: 0,
+            downgrades: 0,
+        }
+    }
+
+    /// Total invalidations issued.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Total downgrades issued.
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades
+    }
+
+    /// State of `line` in `core`.
+    pub fn state(&self, core: CoreId, addr: Address) -> LineState {
+        let line = addr.line(self.line_size).0;
+        match self.entries.get(&line) {
+            None => LineState::Invalid,
+            Some(e) => {
+                if e.owner == Some(core) {
+                    LineState::Modified
+                } else if e.sharers.contains(&core) {
+                    LineState::Shared
+                } else {
+                    LineState::Invalid
+                }
+            }
+        }
+    }
+
+    /// Records an access by `core` and returns the coherence actions other
+    /// cores must take. The `_asid` is accepted for symmetry with the rest
+    /// of the stack (per-app coherence statistics can be layered on).
+    pub fn on_access(
+        &mut self,
+        core: CoreId,
+        addr: Address,
+        kind: AccessKind,
+        _asid: Asid,
+    ) -> Vec<CoherenceAction> {
+        let line = addr.line(self.line_size).0;
+        let entry = self.entries.entry(line).or_default();
+        let mut actions = Vec::new();
+        match kind {
+            AccessKind::Read => {
+                if let Some(owner) = entry.owner {
+                    if owner != core {
+                        actions.push(CoherenceAction::Downgrade(owner));
+                        self.downgrades += 1;
+                        entry.owner = None;
+                        if !entry.sharers.contains(&owner) {
+                            entry.sharers.push(owner);
+                        }
+                    }
+                }
+                if entry.owner != Some(core) && !entry.sharers.contains(&core) {
+                    entry.sharers.push(core);
+                }
+            }
+            AccessKind::Write => {
+                for sharer in entry.sharers.drain(..) {
+                    if sharer != core {
+                        actions.push(CoherenceAction::Invalidate(sharer));
+                        self.invalidations += 1;
+                    }
+                }
+                if let Some(owner) = entry.owner {
+                    if owner != core {
+                        actions.push(CoherenceAction::Invalidate(owner));
+                        self.invalidations += 1;
+                    }
+                }
+                entry.owner = Some(core);
+            }
+        }
+        actions
+    }
+
+    /// Removes a core's copy (models an L1 eviction notification).
+    pub fn on_evict(&mut self, core: CoreId, addr: Address) {
+        let line = addr.line(self.line_size).0;
+        if let Some(entry) = self.entries.get_mut(&line) {
+            entry.sharers.retain(|&c| c != core);
+            if entry.owner == Some(core) {
+                entry.owner = None;
+            }
+            if entry.sharers.is_empty() && entry.owner.is_none() {
+                self.entries.remove(&line);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Address = Address(0x1000);
+
+    #[test]
+    fn read_read_shares_without_actions() {
+        let mut d = Directory::new(64);
+        assert!(d.on_access(CoreId(0), A, AccessKind::Read, Asid::new(1)).is_empty());
+        assert!(d.on_access(CoreId(1), A, AccessKind::Read, Asid::new(2)).is_empty());
+        assert_eq!(d.state(CoreId(0), A), LineState::Shared);
+        assert_eq!(d.state(CoreId(1), A), LineState::Shared);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new(64);
+        d.on_access(CoreId(0), A, AccessKind::Read, Asid::new(1));
+        d.on_access(CoreId(1), A, AccessKind::Read, Asid::new(1));
+        let actions = d.on_access(CoreId(2), A, AccessKind::Write, Asid::new(1));
+        assert_eq!(actions.len(), 2);
+        assert!(actions.contains(&CoherenceAction::Invalidate(CoreId(0))));
+        assert!(actions.contains(&CoherenceAction::Invalidate(CoreId(1))));
+        assert_eq!(d.state(CoreId(2), A), LineState::Modified);
+        assert_eq!(d.state(CoreId(0), A), LineState::Invalid);
+        assert_eq!(d.invalidations(), 2);
+    }
+
+    #[test]
+    fn read_downgrades_owner() {
+        let mut d = Directory::new(64);
+        d.on_access(CoreId(0), A, AccessKind::Write, Asid::new(1));
+        let actions = d.on_access(CoreId(1), A, AccessKind::Read, Asid::new(1));
+        assert_eq!(actions, vec![CoherenceAction::Downgrade(CoreId(0))]);
+        assert_eq!(d.state(CoreId(0), A), LineState::Shared);
+        assert_eq!(d.state(CoreId(1), A), LineState::Shared);
+        assert_eq!(d.downgrades(), 1);
+    }
+
+    #[test]
+    fn rewrite_by_owner_is_silent() {
+        let mut d = Directory::new(64);
+        d.on_access(CoreId(0), A, AccessKind::Write, Asid::new(1));
+        assert!(d.on_access(CoreId(0), A, AccessKind::Write, Asid::new(1)).is_empty());
+        assert_eq!(d.invalidations(), 0);
+    }
+
+    #[test]
+    fn evict_clears_state() {
+        let mut d = Directory::new(64);
+        d.on_access(CoreId(0), A, AccessKind::Write, Asid::new(1));
+        d.on_evict(CoreId(0), A);
+        assert_eq!(d.state(CoreId(0), A), LineState::Invalid);
+        // A later write by another core needs no invalidations.
+        assert!(d.on_access(CoreId(1), A, AccessKind::Write, Asid::new(1)).is_empty());
+    }
+
+    #[test]
+    fn disjoint_lines_do_not_interact() {
+        let mut d = Directory::new(64);
+        d.on_access(CoreId(0), Address(0), AccessKind::Write, Asid::new(1));
+        let actions = d.on_access(CoreId(1), Address(64), AccessKind::Write, Asid::new(2));
+        assert!(actions.is_empty());
+    }
+}

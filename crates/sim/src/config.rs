@@ -1,0 +1,278 @@
+//! Cache geometry configuration.
+
+use crate::error::SimError;
+use std::fmt;
+
+/// What happens on a store hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Mark the line dirty; write back on eviction (the default, and what
+    /// the paper's L2s do).
+    #[default]
+    WriteBack,
+    /// Propagate every store to the next level immediately; lines are
+    /// never dirty.
+    WriteThrough,
+}
+
+/// What happens on a store miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WriteMissPolicy {
+    /// Fetch the line and install it (the default).
+    #[default]
+    WriteAllocate,
+    /// Forward the store without installing the line.
+    NoWriteAllocate,
+}
+
+/// Geometry and timing of a set-associative cache.
+///
+/// ```
+/// use molcache_sim::CacheConfig;
+/// let cfg = CacheConfig::new(8 << 20, 8, 64)?; // 8 MB, 8-way, 64 B lines
+/// assert_eq!(cfg.num_sets(), (8 << 20) / 8 / 64);
+/// # Ok::<(), molcache_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    assoc: u32,
+    line_size: u64,
+    hit_latency: u32,
+    miss_penalty: u32,
+    ports: u32,
+    write_policy: WritePolicy,
+    write_miss_policy: WriteMissPolicy,
+}
+
+impl CacheConfig {
+    /// Default hit latency in cycles (L2-class array).
+    pub const DEFAULT_HIT_LATENCY: u32 = 12;
+    /// Default miss penalty in cycles (memory access).
+    pub const DEFAULT_MISS_PENALTY: u32 = 200;
+
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidGeometry`] unless `size_bytes` and
+    /// `line_size` are powers of two, `assoc >= 1`, and
+    /// `size_bytes >= assoc * line_size`.
+    pub fn new(size_bytes: u64, assoc: u32, line_size: u64) -> Result<Self, SimError> {
+        if size_bytes == 0 || !size_bytes.is_power_of_two() {
+            return Err(SimError::InvalidGeometry {
+                field: "size_bytes",
+                constraint: "must be a non-zero power of two",
+            });
+        }
+        if line_size == 0 || !line_size.is_power_of_two() {
+            return Err(SimError::InvalidGeometry {
+                field: "line_size",
+                constraint: "must be a non-zero power of two",
+            });
+        }
+        if assoc == 0 {
+            return Err(SimError::InvalidGeometry {
+                field: "assoc",
+                constraint: "must be at least 1",
+            });
+        }
+        if size_bytes < assoc as u64 * line_size {
+            return Err(SimError::InvalidGeometry {
+                field: "size_bytes",
+                constraint: "must hold at least one set (assoc * line_size)",
+            });
+        }
+        if (size_bytes / (assoc as u64 * line_size)) == 0
+            || !(size_bytes / (assoc as u64 * line_size)).is_power_of_two()
+        {
+            return Err(SimError::InvalidGeometry {
+                field: "assoc",
+                constraint: "set count (size / assoc / line) must be a power of two",
+            });
+        }
+        Ok(CacheConfig {
+            size_bytes,
+            assoc,
+            line_size,
+            hit_latency: Self::DEFAULT_HIT_LATENCY,
+            miss_penalty: Self::DEFAULT_MISS_PENALTY,
+            ports: 1,
+            write_policy: WritePolicy::WriteBack,
+            write_miss_policy: WriteMissPolicy::WriteAllocate,
+        })
+    }
+
+    /// A direct-mapped configuration.
+    pub fn direct_mapped(size_bytes: u64, line_size: u64) -> Result<Self, SimError> {
+        CacheConfig::new(size_bytes, 1, line_size)
+    }
+
+    /// Sets the hit latency (cycles), returning the modified config.
+    pub fn with_hit_latency(mut self, cycles: u32) -> Self {
+        self.hit_latency = cycles;
+        self
+    }
+
+    /// Sets the miss penalty (cycles), returning the modified config.
+    pub fn with_miss_penalty(mut self, cycles: u32) -> Self {
+        self.miss_penalty = cycles;
+        self
+    }
+
+    /// Sets the number of read/write ports (used by the power model).
+    pub fn with_ports(mut self, ports: u32) -> Self {
+        self.ports = ports.max(1);
+        self
+    }
+
+    /// Sets the store-hit policy.
+    pub fn with_write_policy(mut self, policy: WritePolicy) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// Sets the store-miss policy.
+    pub fn with_write_miss_policy(mut self, policy: WriteMissPolicy) -> Self {
+        self.write_miss_policy = policy;
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * self.line_size)
+    }
+
+    /// Total number of line frames.
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_size
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u32 {
+        self.hit_latency
+    }
+
+    /// Miss penalty in cycles (added on top of the hit latency).
+    pub fn miss_penalty(&self) -> u32 {
+        self.miss_penalty
+    }
+
+    /// Read/write ports.
+    pub fn ports(&self) -> u32 {
+        self.ports
+    }
+
+    /// The store-hit policy.
+    pub fn write_policy(&self) -> WritePolicy {
+        self.write_policy
+    }
+
+    /// The store-miss policy.
+    pub fn write_miss_policy(&self) -> WriteMissPolicy {
+        self.write_miss_policy
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let size = self.size_bytes;
+        if size >= 1 << 20 && size.trailing_zeros() >= 20 {
+            write!(f, "{}MB", size >> 20)?;
+        } else if size >= 1 << 10 {
+            write!(f, "{}KB", size >> 10)?;
+        } else {
+            write!(f, "{}B", size)?;
+        }
+        if self.assoc == 1 {
+            write!(f, " DM")?;
+        } else {
+            write!(f, " {}way", self.assoc)?;
+        }
+        write!(f, " {}B-line", self.line_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_derivations() {
+        let cfg = CacheConfig::new(1 << 20, 4, 64).unwrap();
+        assert_eq!(cfg.num_sets(), 4096);
+        assert_eq!(cfg.num_lines(), 16384);
+        assert_eq!(cfg.assoc(), 4);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_size() {
+        assert!(CacheConfig::new(3 << 19, 4, 64).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_assoc() {
+        assert!(CacheConfig::new(1 << 20, 0, 64).is_err());
+    }
+
+    #[test]
+    fn rejects_cache_smaller_than_one_set() {
+        assert!(CacheConfig::new(64, 2, 64).is_err());
+    }
+
+    #[test]
+    fn fully_associative_single_set_allowed() {
+        let cfg = CacheConfig::new(4096, 64, 64).unwrap();
+        assert_eq!(cfg.num_sets(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            CacheConfig::new(8 << 20, 4, 64).unwrap().to_string(),
+            "8MB 4way 64B-line"
+        );
+        assert_eq!(
+            CacheConfig::direct_mapped(8 << 10, 64).unwrap().to_string(),
+            "8KB DM 64B-line"
+        );
+    }
+
+    #[test]
+    fn builder_setters() {
+        let cfg = CacheConfig::new(1 << 20, 2, 64)
+            .unwrap()
+            .with_hit_latency(5)
+            .with_miss_penalty(100)
+            .with_ports(4)
+            .with_write_policy(WritePolicy::WriteThrough)
+            .with_write_miss_policy(WriteMissPolicy::NoWriteAllocate);
+        assert_eq!(cfg.hit_latency(), 5);
+        assert_eq!(cfg.miss_penalty(), 100);
+        assert_eq!(cfg.ports(), 4);
+        assert_eq!(cfg.write_policy(), WritePolicy::WriteThrough);
+        assert_eq!(cfg.write_miss_policy(), WriteMissPolicy::NoWriteAllocate);
+    }
+
+    #[test]
+    fn default_policies_are_writeback_allocate() {
+        let cfg = CacheConfig::new(1 << 20, 2, 64).unwrap();
+        assert_eq!(cfg.write_policy(), WritePolicy::WriteBack);
+        assert_eq!(cfg.write_miss_policy(), WriteMissPolicy::WriteAllocate);
+    }
+}

@@ -1,0 +1,173 @@
+//! The common interface every cache under test implements.
+
+use crate::stats::CacheStats;
+use molcache_trace::{AccessKind, Address, Asid, MemAccess};
+
+/// One request presented to a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Requesting application.
+    pub asid: Asid,
+    /// Byte address.
+    pub addr: Address,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl From<MemAccess> for Request {
+    fn from(acc: MemAccess) -> Self {
+        Request {
+            asid: acc.asid,
+            addr: acc.addr,
+            kind: acc.kind,
+        }
+    }
+}
+
+/// What happened when a request was serviced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the request hit.
+    pub hit: bool,
+    /// Cycles consumed by the request.
+    pub latency: u32,
+    /// Whether a dirty line was written back.
+    pub writeback: bool,
+    /// Lines brought in from the next level (0 on a hit; >1 when the
+    /// region uses an enlarged line size).
+    pub lines_fetched: u32,
+}
+
+impl AccessOutcome {
+    /// A hit with the given latency.
+    pub const fn hit(latency: u32) -> Self {
+        AccessOutcome {
+            hit: true,
+            latency,
+            writeback: false,
+            lines_fetched: 0,
+        }
+    }
+
+    /// A miss fetching one line.
+    pub const fn miss(latency: u32, writeback: bool) -> Self {
+        AccessOutcome {
+            hit: false,
+            latency,
+            writeback,
+            lines_fetched: 1,
+        }
+    }
+}
+
+/// Activity-event counters consumed by the power model.
+///
+/// Traditional caches probe `assoc` ways per access; the molecular cache
+/// probes only the ASID-matching molecules of the home tile (plus remote
+/// tiles on an Ulmo search). Keeping these as raw event counts lets
+/// `molcache-power` attach per-event energies appropriate to each array's
+/// geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Activity {
+    /// Requests serviced.
+    pub accesses: u64,
+    /// Way- or molecule-probes performed (tag+data array reads).
+    pub ways_probed: u64,
+    /// Lines filled from the next level.
+    pub line_fills: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// ASID comparisons (molecular cache only).
+    pub asid_compares: u64,
+    /// Remote-tile searches launched by Ulmo (molecular cache only).
+    pub ulmo_searches: u64,
+}
+
+impl Activity {
+    /// Merges another activity record into this one.
+    pub fn merge(&mut self, other: &Activity) {
+        self.accesses += other.accesses;
+        self.ways_probed += other.ways_probed;
+        self.line_fills += other.line_fills;
+        self.writebacks += other.writebacks;
+        self.asid_compares += other.asid_compares;
+        self.ulmo_searches += other.ulmo_searches;
+    }
+
+    /// Average ways/molecules probed per access.
+    pub fn probes_per_access(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.ways_probed as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A cache that can service a trace.
+///
+/// Implemented by [`SetAssocCache`](crate::set_assoc::SetAssocCache), the
+/// partitioned baselines, and by `molcache_core::MolecularCache`. The
+/// experiment harnesses in `molcache-bench` are generic over this trait,
+/// so the paper's "same trace through Dinero and through the molecular
+/// cache" methodology is a single code path.
+pub trait CacheModel {
+    /// Services one request.
+    fn access(&mut self, req: Request) -> AccessOutcome;
+
+    /// Accumulated hit/miss statistics.
+    fn stats(&self) -> &CacheStats;
+
+    /// Accumulated activity events (for the power model).
+    fn activity(&self) -> Activity;
+
+    /// Clears statistics and activity counters (not cache contents).
+    fn reset_stats(&mut self);
+
+    /// Human-readable description, e.g. `"8MB 4way 64B-line"`.
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_from_memaccess() {
+        let acc = MemAccess::write(Asid::new(3), Address::new(0x80));
+        let req = Request::from(acc);
+        assert_eq!(req.asid, Asid::new(3));
+        assert_eq!(req.addr, Address::new(0x80));
+        assert!(req.kind.is_write());
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let h = AccessOutcome::hit(10);
+        assert!(h.hit);
+        assert_eq!(h.lines_fetched, 0);
+        let m = AccessOutcome::miss(210, true);
+        assert!(!m.hit);
+        assert!(m.writeback);
+        assert_eq!(m.lines_fetched, 1);
+    }
+
+    #[test]
+    fn activity_merge_and_rates() {
+        let mut a = Activity {
+            accesses: 10,
+            ways_probed: 40,
+            ..Activity::default()
+        };
+        let b = Activity {
+            accesses: 10,
+            ways_probed: 20,
+            line_fills: 5,
+            ..Activity::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 20);
+        assert!((a.probes_per_access() - 3.0).abs() < 1e-12);
+        assert_eq!(Activity::default().probes_per_access(), 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Partitioned traditional caches — the related-work baselines.
+//!
+//! The paper positions molecular caches against Suh et al.'s two
+//! partitioning schemes for multi-way caches (§2):
+//!
+//! * **Column caching** ([`ColumnCache`]): each application may only
+//!   *replace into* an assigned subset of ways ("columns"); lookups still
+//!   search all ways.
+//! * **Modified LRU** ([`ModifiedLruCache`]): each application has a block
+//!   quota; below quota it replaces the global LRU line, at/above quota it
+//!   replaces the LRU line among its *own* blocks.
+//!
+//! Both are implemented here so the reproduction can run the comparisons
+//! the related-work section only cites.
+
+use crate::config::CacheConfig;
+use crate::model::{AccessOutcome, Activity, CacheModel, Request};
+use crate::replacement::{Policy, SetPolicy};
+use crate::set_assoc::LineSlot;
+use crate::stats::CacheStats;
+use molcache_trace::rng::Rng;
+use molcache_trace::Asid;
+use std::collections::BTreeMap;
+
+/// Way-partitioned ("column") cache.
+#[derive(Debug, Clone)]
+pub struct ColumnCache {
+    cfg: CacheConfig,
+    lines: Vec<LineSlot>,
+    policies: Vec<SetPolicy>,
+    /// Ways each application may replace into; apps not present may use
+    /// every way.
+    columns: BTreeMap<Asid, Vec<usize>>,
+    rng: Rng,
+    stats: CacheStats,
+    activity: Activity,
+}
+
+impl ColumnCache {
+    /// Creates a column cache with LRU replacement inside each column set.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets() as usize;
+        let assoc = cfg.assoc() as usize;
+        ColumnCache {
+            cfg,
+            lines: vec![LineSlot::EMPTY; sets * assoc],
+            policies: (0..sets).map(|_| SetPolicy::new(Policy::Lru, assoc)).collect(),
+            columns: BTreeMap::new(),
+            rng: Rng::seeded(0xC01_CACE),
+            stats: CacheStats::new(),
+            activity: Activity::default(),
+        }
+    }
+
+    /// Restricts `asid` to replace only into `ways`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidPartition`] if `ways` is empty or
+    /// references a way ≥ associativity.
+    pub fn assign_columns(
+        &mut self,
+        asid: Asid,
+        ways: Vec<usize>,
+    ) -> Result<(), crate::SimError> {
+        if ways.is_empty() {
+            return Err(crate::SimError::InvalidPartition(
+                "column assignment must contain at least one way".into(),
+            ));
+        }
+        if ways.iter().any(|&w| w >= self.cfg.assoc() as usize) {
+            return Err(crate::SimError::InvalidPartition(format!(
+                "way index out of range (assoc {})",
+                self.cfg.assoc()
+            )));
+        }
+        self.columns.insert(asid, ways);
+        Ok(())
+    }
+
+    fn index_and_tag(&self, addr: molcache_trace::Address) -> (usize, u64) {
+        let line = addr.line(self.cfg.line_size()).0;
+        let sets = self.cfg.num_sets();
+        ((line % sets) as usize, line / sets)
+    }
+}
+
+impl CacheModel for ColumnCache {
+    fn access(&mut self, req: Request) -> AccessOutcome {
+        let (set, tag) = self.index_and_tag(req.addr);
+        let assoc = self.cfg.assoc() as usize;
+        self.activity.accesses += 1;
+        self.activity.ways_probed += assoc as u64;
+        let slots = &mut self.lines[set * assoc..(set + 1) * assoc];
+
+        if let Some(way) = slots.iter().position(|l| l.valid && l.tag == tag) {
+            if req.kind.is_write() {
+                slots[way].dirty = true;
+            }
+            self.policies[set].on_hit(way);
+            self.stats.record(req.asid, true, false);
+            return AccessOutcome::hit(self.cfg.hit_latency());
+        }
+
+        // Miss: fill within the app's columns (any way if unassigned).
+        let allowed: Vec<usize> = match self.columns.get(&req.asid) {
+            Some(ways) => ways.clone(),
+            None => (0..assoc).collect(),
+        };
+        let way = match allowed.iter().copied().find(|&w| !slots[w].valid) {
+            Some(w) => w,
+            None => self.policies[set].victim_among(&allowed, &mut self.rng),
+        };
+        let writeback = slots[way].valid && slots[way].dirty;
+        slots[way] = LineSlot {
+            tag,
+            valid: true,
+            dirty: req.kind.is_write(),
+            asid: req.asid,
+        };
+        self.policies[set].on_fill(way);
+        self.activity.line_fills += 1;
+        if writeback {
+            self.activity.writebacks += 1;
+        }
+        self.stats.record(req.asid, false, writeback);
+        AccessOutcome::miss(self.cfg.hit_latency() + self.cfg.miss_penalty(), writeback)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn activity(&self) -> Activity {
+        self.activity
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.activity = Activity::default();
+    }
+
+    fn describe(&self) -> String {
+        format!("{} column-partitioned", self.cfg)
+    }
+}
+
+/// Suh et al.'s Modified-LRU quota-partitioned cache.
+#[derive(Debug, Clone)]
+pub struct ModifiedLruCache {
+    cfg: CacheConfig,
+    lines: Vec<LineSlot>,
+    policies: Vec<SetPolicy>,
+    /// Block quota per application; apps not present are unrestricted.
+    quotas: BTreeMap<Asid, u64>,
+    /// Blocks currently owned per application.
+    owned: BTreeMap<Asid, u64>,
+    rng: Rng,
+    stats: CacheStats,
+    activity: Activity,
+}
+
+impl ModifiedLruCache {
+    /// Creates a Modified-LRU cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.num_sets() as usize;
+        let assoc = cfg.assoc() as usize;
+        ModifiedLruCache {
+            cfg,
+            lines: vec![LineSlot::EMPTY; sets * assoc],
+            policies: (0..sets).map(|_| SetPolicy::new(Policy::Lru, assoc)).collect(),
+            quotas: BTreeMap::new(),
+            owned: BTreeMap::new(),
+            rng: Rng::seeded(0x30D1_F1ED),
+            stats: CacheStats::new(),
+            activity: Activity::default(),
+        }
+    }
+
+    /// Sets `asid`'s block quota.
+    pub fn set_quota(&mut self, asid: Asid, blocks: u64) {
+        self.quotas.insert(asid, blocks);
+    }
+
+    /// Blocks currently owned by `asid`.
+    pub fn owned_blocks(&self, asid: Asid) -> u64 {
+        self.owned.get(&asid).copied().unwrap_or(0)
+    }
+
+    fn index_and_tag(&self, addr: molcache_trace::Address) -> (usize, u64) {
+        let line = addr.line(self.cfg.line_size()).0;
+        let sets = self.cfg.num_sets();
+        ((line % sets) as usize, line / sets)
+    }
+}
+
+impl CacheModel for ModifiedLruCache {
+    fn access(&mut self, req: Request) -> AccessOutcome {
+        let (set, tag) = self.index_and_tag(req.addr);
+        let assoc = self.cfg.assoc() as usize;
+        self.activity.accesses += 1;
+        self.activity.ways_probed += assoc as u64;
+        let slots = &mut self.lines[set * assoc..(set + 1) * assoc];
+
+        if let Some(way) = slots.iter().position(|l| l.valid && l.tag == tag) {
+            if req.kind.is_write() {
+                slots[way].dirty = true;
+            }
+            self.policies[set].on_hit(way);
+            self.stats.record(req.asid, true, false);
+            return AccessOutcome::hit(self.cfg.hit_latency());
+        }
+
+        // Replacement decision per Suh et al.: below quota -> global LRU;
+        // at/above quota -> LRU among own blocks. When an over-quota
+        // application owns nothing in the indexed set, the fill is
+        // *bypassed* — installing anywhere else would either break the
+        // quota (global victim) or evict another application's line,
+        // which is exactly what the quota exists to prevent.
+        let over_quota = match self.quotas.get(&req.asid) {
+            Some(&q) => self.owned.get(&req.asid).copied().unwrap_or(0) >= q,
+            None => false,
+        };
+        let way = if over_quota {
+            let own: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.valid && l.asid == req.asid)
+                .map(|(i, _)| i)
+                .collect();
+            if own.is_empty() {
+                self.stats.record(req.asid, false, false);
+                return AccessOutcome {
+                    hit: false,
+                    latency: self.cfg.hit_latency() + self.cfg.miss_penalty(),
+                    writeback: false,
+                    lines_fetched: 0,
+                };
+            }
+            self.policies[set].victim_among(&own, &mut self.rng)
+        } else if let Some(w) = slots.iter().position(|l| !l.valid) {
+            w
+        } else {
+            self.policies[set].victim(&mut self.rng)
+        };
+
+        let evicted = slots[way];
+        if evicted.valid {
+            if let Some(count) = self.owned.get_mut(&evicted.asid) {
+                *count = count.saturating_sub(1);
+            }
+        }
+        let writeback = evicted.valid && evicted.dirty;
+        slots[way] = LineSlot {
+            tag,
+            valid: true,
+            dirty: req.kind.is_write(),
+            asid: req.asid,
+        };
+        *self.owned.entry(req.asid).or_insert(0) += 1;
+        self.policies[set].on_fill(way);
+        self.activity.line_fills += 1;
+        if writeback {
+            self.activity.writebacks += 1;
+        }
+        self.stats.record(req.asid, false, writeback);
+        AccessOutcome::miss(self.cfg.hit_latency() + self.cfg.miss_penalty(), writeback)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn activity(&self) -> Activity {
+        self.activity
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+        self.activity = Activity::default();
+    }
+
+    fn describe(&self) -> String {
+        format!("{} modified-LRU", self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molcache_trace::{AccessKind, Address};
+
+    fn req(asid: u16, addr: u64) -> Request {
+        Request {
+            asid: Asid::new(asid),
+            addr: Address::new(addr),
+            kind: AccessKind::Read,
+        }
+    }
+
+    fn cfg_tiny() -> CacheConfig {
+        // 2 sets x 4 ways.
+        CacheConfig::new(512, 4, 64).unwrap()
+    }
+
+    #[test]
+    fn column_cache_isolates_replacement() {
+        let mut c = ColumnCache::new(cfg_tiny());
+        c.assign_columns(Asid::new(1), vec![0, 1]).unwrap();
+        c.assign_columns(Asid::new(2), vec![2, 3]).unwrap();
+        // App 1 fills its two columns in set 0.
+        c.access(req(1, 0));
+        c.access(req(1, 2 * 64)); // set 0, different tag
+        // App 2 streams heavily through set 0.
+        for i in 0..16u64 {
+            c.access(req(2, (4 + 2 * i) * 64));
+        }
+        // App 1's lines must be untouched.
+        assert!(c.access(req(1, 0)).hit, "column isolation violated");
+        assert!(c.access(req(1, 2 * 64)).hit, "column isolation violated");
+    }
+
+    #[test]
+    fn column_assignment_validation() {
+        let mut c = ColumnCache::new(cfg_tiny());
+        assert!(c.assign_columns(Asid::new(1), vec![]).is_err());
+        assert!(c.assign_columns(Asid::new(1), vec![4]).is_err());
+        assert!(c.assign_columns(Asid::new(1), vec![3]).is_ok());
+    }
+
+    #[test]
+    fn unassigned_app_uses_all_ways() {
+        let mut c = ColumnCache::new(cfg_tiny());
+        for i in 0..4u64 {
+            c.access(req(1, 2 * i * 64)); // 4 distinct tags in set 0
+        }
+        for i in 0..4u64 {
+            assert!(c.access(req(1, 2 * i * 64)).hit);
+        }
+    }
+
+    #[test]
+    fn modified_lru_quota_caps_occupancy() {
+        let mut c = ModifiedLruCache::new(cfg_tiny());
+        c.set_quota(Asid::new(2), 2);
+        // App 1 takes two ways of set 0.
+        c.access(req(1, 0));
+        c.access(req(1, 2 * 64));
+        // App 2 streams; with quota 2 it may never own more than 2 blocks
+        // once it reaches its quota, so app 1 keeps at least one line... in
+        // fact app 2 evicts only its own blocks after reaching quota.
+        for i in 0..32u64 {
+            c.access(req(2, (4 + 2 * i) * 64));
+        }
+        assert!(c.owned_blocks(Asid::new(2)) <= 2 + 1, "quota overshoot");
+        assert!(
+            c.access(req(1, 0)).hit || c.access(req(1, 2 * 64)).hit,
+            "quota failed to protect app 1 entirely"
+        );
+    }
+
+    #[test]
+    fn modified_lru_unrestricted_without_quota() {
+        let mut c = ModifiedLruCache::new(cfg_tiny());
+        // 8 distinct tags, all landing in set 0 (4 ways): the app churns
+        // through the set freely and ends owning exactly the 4 frames.
+        for i in 0..8u64 {
+            c.access(req(1, 2 * i * 64));
+        }
+        assert_eq!(c.owned_blocks(Asid::new(1)), 4);
+        assert_eq!(c.stats().global.misses, 8, "global LRU never self-limits");
+    }
+
+    #[test]
+    fn owned_count_tracks_evictions() {
+        let mut c = ModifiedLruCache::new(cfg_tiny());
+        c.set_quota(Asid::new(1), 100); // large quota: global replacement
+        for i in 0..12u64 {
+            c.access(req(1, 2 * i * 64)); // set 0 only holds 4
+        }
+        assert_eq!(c.owned_blocks(Asid::new(1)), 4, "owns at most the set");
+    }
+
+    #[test]
+    fn describe_strings() {
+        assert!(ColumnCache::new(cfg_tiny()).describe().contains("column"));
+        assert!(ModifiedLruCache::new(cfg_tiny())
+            .describe()
+            .contains("modified-LRU"));
+    }
+}

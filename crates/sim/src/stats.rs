@@ -1,0 +1,182 @@
+//! Hit/miss statistics, global and per application.
+
+use molcache_trace::Asid;
+use std::collections::BTreeMap;
+
+/// Counters for one application (or for the whole cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppStats {
+    /// References observed.
+    pub accesses: u64,
+    /// References that hit.
+    pub hits: u64,
+    /// References that missed.
+    pub misses: u64,
+    /// Dirty evictions caused.
+    pub writebacks: u64,
+}
+
+impl AppStats {
+    /// Miss rate (`0.0` when no accesses were observed).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate (`0.0` when no accesses were observed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &AppStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+    }
+
+    fn record(&mut self, hit: bool, writeback: bool) {
+        self.accesses += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        if writeback {
+            self.writebacks += 1;
+        }
+    }
+}
+
+/// Cache-wide statistics with per-application breakdown.
+///
+/// Per-app counters are keyed by [`Asid`] in a `BTreeMap` so iteration
+/// order (and therefore all printed reports) is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Whole-cache counters.
+    pub global: AppStats,
+    /// Per-application counters.
+    pub per_app: BTreeMap<Asid, AppStats>,
+}
+
+impl CacheStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Records one access outcome for `asid`.
+    pub fn record(&mut self, asid: Asid, hit: bool, writeback: bool) {
+        self.global.record(hit, writeback);
+        self.per_app.entry(asid).or_default().record(hit, writeback);
+    }
+
+    /// Returns the stats of one application (zeroes if never seen).
+    pub fn app(&self, asid: Asid) -> AppStats {
+        self.per_app.get(&asid).copied().unwrap_or_default()
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+
+    /// Sums a snapshot taken earlier out of these stats, yielding the
+    /// delta accumulated since `earlier`.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        let mut delta = self.clone();
+        delta.global.accesses -= earlier.global.accesses;
+        delta.global.hits -= earlier.global.hits;
+        delta.global.misses -= earlier.global.misses;
+        delta.global.writebacks -= earlier.global.writebacks;
+        for (asid, prev) in &earlier.per_app {
+            if let Some(cur) = delta.per_app.get_mut(asid) {
+                cur.accesses -= prev.accesses;
+                cur.hits -= prev.hits;
+                cur.misses -= prev.misses;
+                cur.writebacks -= prev.writebacks;
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_updates_global_and_app() {
+        let mut s = CacheStats::new();
+        s.record(Asid::new(1), true, false);
+        s.record(Asid::new(1), false, true);
+        s.record(Asid::new(2), false, false);
+        assert_eq!(s.global.accesses, 3);
+        assert_eq!(s.global.misses, 2);
+        assert_eq!(s.global.writebacks, 1);
+        assert_eq!(s.app(Asid::new(1)).hits, 1);
+        assert_eq!(s.app(Asid::new(2)).misses, 1);
+        assert_eq!(s.app(Asid::new(3)), AppStats::default());
+    }
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(AppStats::default().miss_rate(), 0.0);
+        assert_eq!(AppStats::default().hit_rate(), 0.0);
+        let mut s = AppStats::default();
+        s.record(false, false);
+        s.record(true, false);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let mut s = CacheStats::new();
+        s.record(Asid::new(1), false, false);
+        let snapshot = s.clone();
+        s.record(Asid::new(1), true, false);
+        s.record(Asid::new(1), true, false);
+        let delta = s.since(&snapshot);
+        assert_eq!(delta.global.accesses, 2);
+        assert_eq!(delta.app(Asid::new(1)).hits, 2);
+        assert_eq!(delta.app(Asid::new(1)).misses, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AppStats {
+            accesses: 1,
+            hits: 1,
+            misses: 0,
+            writebacks: 0,
+        };
+        let b = AppStats {
+            accesses: 3,
+            hits: 1,
+            misses: 2,
+            writebacks: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 4);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.writebacks, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = CacheStats::new();
+        s.record(Asid::new(1), true, false);
+        s.reset();
+        assert_eq!(s, CacheStats::default());
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests of the related-work partitioning baselines: the
+//! paper's §2 claims about Suh et al.'s schemes, made runnable.
+
+use molcache_sim::cmp::run_shared;
+use molcache_sim::partition::{ColumnCache, ModifiedLruCache};
+use molcache_sim::replacement::Policy;
+use molcache_sim::{CacheConfig, CacheModel, SetAssocCache};
+use molcache_trace::gen::BoxedSource;
+use molcache_trace::presets::Benchmark;
+use molcache_trace::Asid;
+
+const REFS: u64 = 400_000;
+
+fn victim_and_polluter() -> Vec<BoxedSource> {
+    vec![
+        Benchmark::Twolf.source(Asid::new(1), 17), // small hot set
+        Benchmark::Crc.source(Asid::new(2), 17),   // pure stream
+    ]
+}
+
+fn cfg() -> CacheConfig {
+    CacheConfig::new(512 << 10, 8, 64).unwrap()
+}
+
+fn shared_lru_victim_miss_rate() -> f64 {
+    let mut cache = SetAssocCache::new(cfg(), Policy::Lru);
+    run_shared(victim_and_polluter(), &mut cache, REFS)
+        .unwrap()
+        .app_miss_rate(Asid::new(1))
+}
+
+#[test]
+fn column_caching_contains_stream_pollution() {
+    // Give the polluter two ways, the victim six.
+    let mut cache = ColumnCache::new(cfg());
+    cache
+        .assign_columns(Asid::new(1), vec![0, 1, 2, 3, 4, 5])
+        .unwrap();
+    cache.assign_columns(Asid::new(2), vec![6, 7]).unwrap();
+    let partitioned = run_shared(victim_and_polluter(), &mut cache, REFS)
+        .unwrap()
+        .app_miss_rate(Asid::new(1));
+    let shared = shared_lru_victim_miss_rate();
+    assert!(
+        partitioned <= shared + 0.01,
+        "column caching must not be worse than shared LRU for the victim: \
+         {partitioned:.4} vs {shared:.4}"
+    );
+}
+
+#[test]
+fn modified_lru_quota_contains_stream_pollution() {
+    let mut cache = ModifiedLruCache::new(cfg());
+    // The stream gets a 1024-block quota (one eighth of the cache).
+    cache.set_quota(Asid::new(2), 1024);
+    let summary = run_shared(victim_and_polluter(), &mut cache, REFS).unwrap();
+    let partitioned = summary.app_miss_rate(Asid::new(1));
+    let shared = shared_lru_victim_miss_rate();
+    assert!(
+        partitioned <= shared + 0.01,
+        "modified LRU must not be worse than shared LRU for the victim: \
+         {partitioned:.4} vs {shared:.4}"
+    );
+    // The quota is strict: at the cap, fills that cannot replace an own
+    // block are bypassed.
+    assert!(
+        cache.owned_blocks(Asid::new(2)) <= 1024,
+        "quota overshoot: {}",
+        cache.owned_blocks(Asid::new(2))
+    );
+}
+
+#[test]
+fn partitioning_costs_the_polluter_nothing() {
+    // CRC misses everything regardless; restricting it is free QoS.
+    let mut shared = SetAssocCache::new(cfg(), Policy::Lru);
+    let shared_crc = run_shared(victim_and_polluter(), &mut shared, REFS)
+        .unwrap()
+        .app_miss_rate(Asid::new(2));
+
+    let mut column = ColumnCache::new(cfg());
+    column.assign_columns(Asid::new(2), vec![7]).unwrap();
+    let partitioned_crc = run_shared(victim_and_polluter(), &mut column, REFS)
+        .unwrap()
+        .app_miss_rate(Asid::new(2));
+    // Confining CRC to one way costs only its tiny hot-state component
+    // a few points; the stream itself is capacity-insensitive.
+    assert!(
+        (partitioned_crc - shared_crc).abs() < 0.06,
+        "stream miss rate is capacity-insensitive: {partitioned_crc:.3} vs {shared_crc:.3}"
+    );
+}
+
+#[test]
+fn baselines_agree_on_single_app() {
+    // With one application and no restrictions, all three traditional
+    // models converge to similar miss rates on the same stream.
+    let run_one = |cache: &mut dyn CacheModel| {
+        run_shared(
+            vec![Benchmark::Gzip.source(Asid::new(1), 17)],
+            cache,
+            REFS / 2,
+        )
+        .unwrap()
+        .global
+        .miss_rate()
+    };
+    let mut lru = SetAssocCache::new(cfg(), Policy::Lru);
+    let mut column = ColumnCache::new(cfg());
+    let mut mlru = ModifiedLruCache::new(cfg());
+    let a = run_one(&mut lru);
+    let b = run_one(&mut column);
+    let c = run_one(&mut mlru);
+    for (label, v) in [("column", b), ("mlru", c)] {
+        assert!(
+            (v - a).abs() < 0.05,
+            "{label} diverges from LRU on one app: {v:.3} vs {a:.3}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Memory accesses — the unit of work consumed by every cache simulator.
+
+use crate::addr::{Address, Asid};
+use std::fmt;
+
+/// Whether an access reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("R"),
+            AccessKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// A single memory reference issued by an application.
+///
+/// `MemAccess` is deliberately a plain, public-field struct ("C-spirit"
+/// passive data): generators produce them in bulk and simulators consume
+/// them in bulk.
+///
+/// ```
+/// use molcache_trace::{MemAccess, AccessKind, Address, Asid};
+/// let acc = MemAccess::read(Asid::new(1), Address::new(0x100));
+/// assert_eq!(acc.kind, AccessKind::Read);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// The application issuing the reference.
+    pub asid: Asid,
+    /// Byte address referenced.
+    pub addr: Address,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Creates a read access.
+    pub const fn read(asid: Asid, addr: Address) -> Self {
+        MemAccess {
+            asid,
+            addr,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a write access.
+    pub const fn write(asid: Asid, addr: Address) -> Self {
+        MemAccess {
+            asid,
+            addr,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Creates an access of the given kind.
+    pub const fn new(asid: Asid, addr: Address, kind: AccessKind) -> Self {
+        MemAccess { asid, addr, kind }
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.asid, self.kind, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let r = MemAccess::read(Asid::new(1), Address::new(8));
+        let w = MemAccess::write(Asid::new(1), Address::new(8));
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert!(!r.kind.is_write());
+        assert!(w.kind.is_write());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let acc = MemAccess::write(Asid::new(2), Address::new(0x40));
+        assert_eq!(acc.to_string(), "asid:2 W 0x40");
+    }
+}

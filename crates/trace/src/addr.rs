@@ -1,0 +1,209 @@
+//! Physical addresses and application-space identifiers.
+//!
+//! Every simulator in the workspace speaks in terms of [`Address`] (a byte
+//! address in a flat physical address space) and [`Asid`] (the
+//! Application Space Identifier the paper configures into each molecule to
+//! bind it to a cache region).
+
+use std::fmt;
+
+/// A byte address in the simulated physical address space.
+///
+/// `Address` is a transparent `u64` newtype so that cache-geometry
+/// arithmetic (line offsets, set indices, tags) is explicit and cannot be
+/// confused with counters or sizes.
+///
+/// ```
+/// use molcache_trace::Address;
+/// let a = Address::new(0x1234);
+/// assert_eq!(a.line(64).0, 0x1234 / 64);
+/// assert_eq!(a.align_down(64), Address::new(0x1200));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// Creates an address from a raw byte value.
+    pub const fn new(raw: u64) -> Self {
+        Address(raw)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache-line number for a given line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `line_size` is not a power of two.
+    pub fn line(self, line_size: u64) -> LineAddr {
+        debug_assert!(line_size.is_power_of_two(), "line size must be 2^k");
+        LineAddr(self.0 / line_size)
+    }
+
+    /// Rounds the address down to a multiple of `align` (a power of two).
+    pub fn align_down(self, align: u64) -> Address {
+        debug_assert!(align.is_power_of_two());
+        Address(self.0 & !(align - 1))
+    }
+
+    /// Byte offset inside an aligned block of `align` bytes.
+    pub fn offset_in(self, align: u64) -> u64 {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1)
+    }
+
+    /// Returns the address advanced by `bytes` (wrapping).
+    pub fn byte_add(self, bytes: u64) -> Address {
+        Address(self.0.wrapping_add(bytes))
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address(raw)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> Self {
+        a.0
+    }
+}
+
+/// A cache-line number (an [`Address`] divided by the line size).
+///
+/// The molecular cache's *Randy* replacement view maps line addresses to
+/// replacement rows; keeping line numbers as their own type prevents
+/// accidentally mixing byte addresses into that arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Reconstructs the first byte address of the line.
+    pub fn base(self, line_size: u64) -> Address {
+        Address(self.0 * line_size)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+/// Application Space Identifier.
+///
+/// The paper binds each molecule to at most one application by configuring
+/// the molecule with the application's ASID; an extra address-decode stage
+/// compares the requestor's ASID against it. We reserve `Asid(0)` for "no
+/// application / unconfigured" via [`Asid::NONE`].
+///
+/// ```
+/// use molcache_trace::Asid;
+/// let a = Asid::new(3);
+/// assert!(a.is_some());
+/// assert!(!Asid::NONE.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);
+
+impl Asid {
+    /// The "unconfigured" ASID: molecules carrying it belong to no region.
+    pub const NONE: Asid = Asid(0);
+
+    /// Creates an ASID. `new(0)` is equivalent to [`Asid::NONE`].
+    pub const fn new(raw: u16) -> Self {
+        Asid(raw)
+    }
+
+    /// Returns `true` when the ASID identifies a real application.
+    pub const fn is_some(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Raw identifier value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "asid:{}", self.0)
+        } else {
+            write!(f, "asid:none")
+        }
+    }
+}
+
+impl From<u16> for Asid {
+    fn from(raw: u16) -> Self {
+        Asid(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_line_math() {
+        let a = Address::new(0x1fff);
+        assert_eq!(a.line(64), LineAddr(0x1fff / 64));
+        assert_eq!(a.align_down(64), Address::new(0x1fc0));
+        assert_eq!(a.offset_in(64), 0x3f);
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        let a = Address::new(4096 + 65);
+        let l = a.line(64);
+        assert_eq!(l.base(64), Address::new(4096 + 64));
+    }
+
+    #[test]
+    fn address_add_wraps() {
+        let a = Address::new(u64::MAX);
+        assert_eq!(a.byte_add(1), Address::new(0));
+    }
+
+    #[test]
+    fn asid_none_semantics() {
+        assert_eq!(Asid::new(0), Asid::NONE);
+        assert!(!Asid::NONE.is_some());
+        assert!(Asid::new(7).is_some());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Address::new(0x40).to_string(), "0x40");
+        assert_eq!(Asid::new(2).to_string(), "asid:2");
+        assert_eq!(Asid::NONE.to_string(), "asid:none");
+        assert_eq!(format!("{:x}", Address::new(255)), "ff");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Address = 42u64.into();
+        let raw: u64 = a.into();
+        assert_eq!(raw, 42);
+        let s: Asid = 3u16.into();
+        assert_eq!(s.raw(), 3);
+    }
+}

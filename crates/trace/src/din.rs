@@ -1,0 +1,284 @@
+//! Dinero ("din") trace format support.
+//!
+//! The paper feeds L1-D miss traces to "a modified version of Dinero".
+//! Dinero's classic input format is one reference per line:
+//!
+//! ```text
+//! <label> <hex-address>
+//! ```
+//!
+//! with label `0` = data read, `1` = data write, `2` = instruction fetch.
+//! This module writes and reads that format so recorded traces (real or
+//! synthetic) can round-trip through the same files Dinero-era tooling
+//! used. Instruction fetches are mapped to reads on input (the simulators
+//! here model unified lines).
+
+use crate::access::{AccessKind, MemAccess};
+use crate::addr::{Address, Asid};
+use crate::gen::TraceSource;
+use std::io::{self, BufRead, Write};
+
+/// Writes accesses in din format (`label hex-address` per line).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_din<'a, I, W>(accesses: I, mut writer: W) -> io::Result<()>
+where
+    I: IntoIterator<Item = &'a MemAccess>,
+    W: Write,
+{
+    for acc in accesses {
+        let label = match acc.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        };
+        writeln!(writer, "{label} {:x}", acc.addr.raw())?;
+    }
+    Ok(())
+}
+
+/// Errors from parsing a din trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DinError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line did not match `<label> <hex-address>`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for DinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DinError::Io(e) => write!(f, "din i/o error: {e}"),
+            DinError::Malformed { line, text } => {
+                write!(f, "malformed din record at line {line}: `{text}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DinError::Io(e) => Some(e),
+            DinError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for DinError {
+    fn from(e: io::Error) -> Self {
+        DinError::Io(e)
+    }
+}
+
+/// Parses a whole din trace into memory, attributing every reference to
+/// `asid`.
+///
+/// ```
+/// use molcache_trace::din::read_din;
+/// use molcache_trace::Asid;
+///
+/// let accs = read_din(std::io::Cursor::new("0 1000\n1 2000\n"), Asid::new(1))?;
+/// assert_eq!(accs.len(), 2);
+/// assert!(accs[1].kind.is_write());
+/// # Ok::<(), molcache_trace::din::DinError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`DinError::Malformed`] on the first unparsable line (blank
+/// lines and `#` comments are skipped) and [`DinError::Io`] on read
+/// failures.
+pub fn read_din<R: BufRead>(reader: R, asid: Asid) -> Result<Vec<MemAccess>, DinError> {
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (label, addr) = match (parts.next(), parts.next()) {
+            (Some(l), Some(a)) => (l, a),
+            _ => {
+                return Err(DinError::Malformed {
+                    line: idx + 1,
+                    text: trimmed.to_string(),
+                })
+            }
+        };
+        let kind = match label {
+            "0" | "2" => AccessKind::Read,
+            "1" => AccessKind::Write,
+            _ => {
+                return Err(DinError::Malformed {
+                    line: idx + 1,
+                    text: trimmed.to_string(),
+                })
+            }
+        };
+        let addr = u64::from_str_radix(addr.trim_start_matches("0x"), 16).map_err(|_| {
+            DinError::Malformed {
+                line: idx + 1,
+                text: trimmed.to_string(),
+            }
+        })?;
+        out.push(MemAccess::new(asid, Address::new(addr), kind));
+    }
+    Ok(out)
+}
+
+/// A [`TraceSource`] that streams a din trace lazily from any reader.
+pub struct DinSource<R> {
+    reader: R,
+    asid: Asid,
+    line: usize,
+    /// First parse error encountered (the stream ends at it; inspect via
+    /// [`DinSource::error`]).
+    error: Option<DinError>,
+}
+
+impl<R: BufRead> DinSource<R> {
+    /// Creates a streaming din source attributed to `asid`.
+    pub fn new(reader: R, asid: Asid) -> Self {
+        DinSource {
+            reader,
+            asid,
+            line: 0,
+            error: None,
+        }
+    }
+
+    /// The parse error that terminated the stream, if any.
+    pub fn error(&self) -> Option<&DinError> {
+        self.error.as_ref()
+    }
+}
+
+impl<R: BufRead> TraceSource for DinSource<R> {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.error.is_some() {
+            return None;
+        }
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            match self.reader.read_line(&mut buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.error = Some(DinError::Io(e));
+                    return None;
+                }
+            }
+            self.line += 1;
+            let trimmed = buf.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match read_din(io::Cursor::new(trimmed), self.asid) {
+                Ok(accs) if accs.len() == 1 => return Some(accs[0]),
+                Ok(_) => continue,
+                Err(DinError::Malformed { text, .. }) => {
+                    self.error = Some(DinError::Malformed {
+                        line: self.line,
+                        text,
+                    });
+                    return None;
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn asid(&self) -> Asid {
+        self.asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::Benchmark;
+
+    #[test]
+    fn roundtrip_preserves_accesses() {
+        let mut src = Benchmark::Ammp.source(Asid::new(3), 21);
+        let original = src.collect_n(500);
+        let mut bytes = Vec::new();
+        write_din(&original, &mut bytes).unwrap();
+        let parsed = read_din(io::Cursor::new(&bytes), Asid::new(3)).unwrap();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn labels_map_to_kinds() {
+        let text = "0 1000\n1 2000\n2 3000\n";
+        let accs = read_din(io::Cursor::new(text), Asid::new(1)).unwrap();
+        assert_eq!(accs.len(), 3);
+        assert_eq!(accs[0].kind, AccessKind::Read);
+        assert_eq!(accs[1].kind, AccessKind::Write);
+        assert_eq!(accs[2].kind, AccessKind::Read, "ifetch maps to read");
+        assert_eq!(accs[0].addr, Address::new(0x1000));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a comment\n\n0 40\n";
+        let accs = read_din(io::Cursor::new(text), Asid::new(1)).unwrap();
+        assert_eq!(accs.len(), 1);
+    }
+
+    #[test]
+    fn hex_prefix_accepted() {
+        let accs = read_din(io::Cursor::new("1 0xdeadbeef\n"), Asid::new(1)).unwrap();
+        assert_eq!(accs[0].addr, Address::new(0xdead_beef));
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let err = read_din(io::Cursor::new("0 40\n7 80\n"), Asid::new(1)).unwrap_err();
+        match err {
+            DinError::Malformed { line, text } => {
+                assert_eq!(line, 2);
+                assert_eq!(text, "7 80");
+            }
+            other => panic!("expected malformed, got {other}"),
+        }
+        assert!(read_din(io::Cursor::new("0\n"), Asid::new(1)).is_err());
+        assert!(read_din(io::Cursor::new("0 zz\n"), Asid::new(1)).is_err());
+    }
+
+    #[test]
+    fn streaming_source_yields_and_stops_on_error() {
+        let text = "0 40\n1 80\nbogus line\n0 c0\n";
+        let mut src = DinSource::new(io::Cursor::new(text), Asid::new(2));
+        assert_eq!(src.next_access().unwrap().addr, Address::new(0x40));
+        assert_eq!(src.next_access().unwrap().addr, Address::new(0x80));
+        assert!(src.next_access().is_none(), "stops at the bad line");
+        assert!(src.error().is_some());
+        assert_eq!(src.asid(), Asid::new(2));
+    }
+
+    #[test]
+    fn streamed_equals_batch() {
+        let mut gen = Benchmark::Parser.source(Asid::new(1), 5);
+        let original = gen.collect_n(200);
+        let mut bytes = Vec::new();
+        write_din(&original, &mut bytes).unwrap();
+        let mut src = DinSource::new(io::Cursor::new(&bytes), Asid::new(1));
+        let streamed = src.collect_n(500);
+        assert_eq!(streamed, original);
+    }
+}

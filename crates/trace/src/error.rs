@@ -1,0 +1,66 @@
+//! Error types for trace construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building trace generators or workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A generator parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A workload was constructed with no applications.
+    EmptyWorkload,
+    /// Two applications in one workload were given the same ASID.
+    DuplicateAsid(crate::Asid),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+            TraceError::EmptyWorkload => f.write_str("workload contains no applications"),
+            TraceError::DuplicateAsid(asid) => {
+                write!(f, "duplicate {asid} in workload")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Asid;
+
+    #[test]
+    fn display_messages() {
+        let e = TraceError::InvalidParameter {
+            name: "working_set",
+            constraint: "must be non-zero",
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `working_set`: must be non-zero"
+        );
+        assert_eq!(
+            TraceError::DuplicateAsid(Asid::new(3)).to_string(),
+            "duplicate asid:3 in workload"
+        );
+        assert!(!TraceError::EmptyWorkload.to_string().is_empty());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<TraceError>();
+    }
+}

@@ -1,0 +1,173 @@
+//! Weighted mixture of sub-generators.
+
+use crate::access::MemAccess;
+use crate::addr::Asid;
+use crate::dist::WeightedChoice;
+use crate::gen::{BoxedSource, TraceSource};
+use crate::rng::Rng;
+
+/// Interleaves several behaviours of one application by weight.
+///
+/// Real programs are not a single archetype: `parser` mixes a hot
+/// dictionary (working-set reuse) with streaming over input text. A
+/// `MixSource` draws, per *burst*, which component generates the next run
+/// of accesses. Bursts (rather than per-access switching) preserve each
+/// component's short-range locality.
+pub struct MixSource {
+    asid: Asid,
+    components: Vec<BoxedSource>,
+    choice: WeightedChoice,
+    burst_len: u64,
+    current: usize,
+    remaining: u64,
+    rng: Rng,
+}
+
+impl std::fmt::Debug for MixSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixSource")
+            .field("asid", &self.asid)
+            .field("components", &self.components.len())
+            .field("burst_len", &self.burst_len)
+            .finish()
+    }
+}
+
+impl MixSource {
+    /// Creates a mixture.
+    ///
+    /// * `components` — sub-generators; each must report the same ASID.
+    /// * `weights` — relative probability of each component per burst.
+    /// * `burst_len` — accesses taken from a component before re-drawing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty, lengths mismatch, `burst_len == 0`,
+    /// or a component's ASID differs from `asid`.
+    pub fn new(
+        asid: Asid,
+        components: Vec<BoxedSource>,
+        weights: &[f64],
+        burst_len: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(!components.is_empty(), "mixture needs components");
+        assert_eq!(
+            components.len(),
+            weights.len(),
+            "one weight per component required"
+        );
+        assert!(burst_len > 0, "burst_len must be positive");
+        for c in &components {
+            assert_eq!(c.asid(), asid, "component ASID mismatch");
+        }
+        MixSource {
+            asid,
+            components,
+            choice: WeightedChoice::new(weights),
+            burst_len,
+            current: 0,
+            remaining: 0,
+            rng: Rng::seeded(seed),
+        }
+    }
+}
+
+impl TraceSource for MixSource {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.remaining == 0 {
+            self.current = self.choice.sample_index(&mut self.rng);
+            self.remaining = self.burst_len;
+        }
+        self.remaining -= 1;
+        self.components[self.current].next_access()
+    }
+
+    fn asid(&self) -> Asid {
+        self.asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Address;
+    use crate::gen::StrideSource;
+
+    fn stride(asid: Asid, base: u64, seed: u64) -> BoxedSource {
+        Box::new(StrideSource::new(
+            asid,
+            Address::new(base),
+            1 << 16,
+            64,
+            0.0,
+            seed,
+        ))
+    }
+
+    #[test]
+    fn draws_from_both_components() {
+        let asid = Asid::new(1);
+        let mut m = MixSource::new(
+            asid,
+            vec![stride(asid, 0, 1), stride(asid, 1 << 30, 2)],
+            &[1.0, 1.0],
+            8,
+            3,
+        );
+        let mut low = 0;
+        let mut high = 0;
+        for _ in 0..4000 {
+            let a = m.next_access().unwrap().addr.raw();
+            if a < (1 << 30) {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+        assert!(low > 1000 && high > 1000, "low={low} high={high}");
+    }
+
+    #[test]
+    fn bursts_keep_component_runs() {
+        let asid = Asid::new(1);
+        let mut m = MixSource::new(
+            asid,
+            vec![stride(asid, 0, 1), stride(asid, 1 << 30, 2)],
+            &[1.0, 1.0],
+            16,
+            4,
+        );
+        // Count switches between address halves; with burst 16 over 1600
+        // accesses there are at most 100 bursts -> at most 100 switches.
+        let mut switches = 0;
+        let mut prev_high = None;
+        for _ in 0..1600 {
+            let high = m.next_access().unwrap().addr.raw() >= (1 << 30);
+            if prev_high.is_some() && prev_high != Some(high) {
+                switches += 1;
+            }
+            prev_high = Some(high);
+        }
+        assert!(switches <= 100, "switches {switches}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ASID mismatch")]
+    fn asid_mismatch_panics() {
+        let _ = MixSource::new(
+            Asid::new(1),
+            vec![stride(Asid::new(2), 0, 1)],
+            &[1.0],
+            4,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per component")]
+    fn weight_length_mismatch_panics() {
+        let asid = Asid::new(1);
+        let _ = MixSource::new(asid, vec![stride(asid, 0, 1)], &[1.0, 2.0], 4, 1);
+    }
+}

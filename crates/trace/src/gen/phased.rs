@@ -1,0 +1,154 @@
+//! Phase-changing generator: time-varying behaviour.
+
+use crate::access::MemAccess;
+use crate::addr::Asid;
+use crate::gen::{BoxedSource, TraceSource};
+
+/// Cycles through a list of sub-generators, each active for a fixed number
+/// of accesses.
+///
+/// Programs move through phases (initialization, compute, output) with
+/// different working sets; the paper's dynamic resizing (§3.4) exists
+/// precisely to track such changes. `PhasedSource` makes phase behaviour
+/// explicit so resizing experiments can verify that partitions grow and
+/// shrink as phases change.
+pub struct PhasedSource {
+    asid: Asid,
+    phases: Vec<(BoxedSource, u64)>,
+    current: usize,
+    remaining: u64,
+    cycle: bool,
+    exhausted: bool,
+}
+
+impl std::fmt::Debug for PhasedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasedSource")
+            .field("asid", &self.asid)
+            .field("phases", &self.phases.len())
+            .field("current", &self.current)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl PhasedSource {
+    /// Creates a phased source that runs each `(source, duration)` in order
+    /// and then starts over (`cycle = true`) or ends (`cycle = false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, any duration is zero, or a phase's ASID
+    /// differs from `asid`.
+    pub fn new(asid: Asid, phases: Vec<(BoxedSource, u64)>, cycle: bool) -> Self {
+        assert!(!phases.is_empty(), "phased source needs phases");
+        for (src, dur) in &phases {
+            assert!(*dur > 0, "phase duration must be positive");
+            assert_eq!(src.asid(), asid, "phase ASID mismatch");
+        }
+        let first_dur = phases[0].1;
+        PhasedSource {
+            asid,
+            phases,
+            current: 0,
+            remaining: first_dur,
+            cycle,
+            exhausted: false,
+        }
+    }
+
+    /// Index of the phase currently generating accesses.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl TraceSource for PhasedSource {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if self.exhausted {
+            return None;
+        }
+        if self.remaining == 0 {
+            if self.current + 1 < self.phases.len() {
+                self.current += 1;
+            } else if self.cycle {
+                self.current = 0;
+            } else {
+                self.exhausted = true;
+                return None;
+            }
+            self.remaining = self.phases[self.current].1;
+        }
+        self.remaining -= 1;
+        self.phases[self.current].0.next_access()
+    }
+
+    fn asid(&self) -> Asid {
+        self.asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Address;
+    use crate::gen::StrideSource;
+
+    fn stride(asid: Asid, base: u64) -> BoxedSource {
+        Box::new(StrideSource::new(
+            asid,
+            Address::new(base),
+            1 << 16,
+            64,
+            0.0,
+            base,
+        ))
+    }
+
+    #[test]
+    fn phases_alternate_in_order() {
+        let asid = Asid::new(1);
+        let mut p = PhasedSource::new(
+            asid,
+            vec![(stride(asid, 0), 3), (stride(asid, 1 << 30), 2)],
+            true,
+        );
+        let highs: Vec<bool> = (0..10)
+            .map(|_| p.next_access().unwrap().addr.raw() >= (1 << 30))
+            .collect();
+        assert_eq!(
+            highs,
+            vec![false, false, false, true, true, false, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn non_cycling_source_ends() {
+        let asid = Asid::new(1);
+        let mut p = PhasedSource::new(asid, vec![(stride(asid, 0), 4)], false);
+        assert_eq!(p.collect_n(100).len(), 4);
+        assert!(p.next_access().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_panics() {
+        let asid = Asid::new(1);
+        let _ = PhasedSource::new(asid, vec![(stride(asid, 0), 0)], true);
+    }
+
+    #[test]
+    fn current_phase_tracks() {
+        let asid = Asid::new(1);
+        let mut p = PhasedSource::new(
+            asid,
+            vec![(stride(asid, 0), 2), (stride(asid, 1 << 20), 2)],
+            true,
+        );
+        assert_eq!(p.current_phase(), 0);
+        p.next_access();
+        p.next_access();
+        p.next_access(); // first access of phase 1
+        assert_eq!(p.current_phase(), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Reuse-profile generator: streams with a prescribed stack-distance mix.
+//!
+//! [`crate::stats::analyze`] measures a stream's LRU stack-distance
+//! histogram; this generator is its inverse — it *produces* a stream whose
+//! reuse distances follow a requested profile. Useful for constructing
+//! workloads whose fully-associative-LRU miss curve is known in closed
+//! form (Mattson), e.g. to place a benchmark's capacity knee exactly at a
+//! partition size under study.
+
+use crate::access::{AccessKind, MemAccess};
+use crate::addr::{Address, Asid};
+use crate::dist::WeightedChoice;
+use crate::gen::TraceSource;
+use crate::rng::Rng;
+
+/// One band of the requested reuse profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReuseBand {
+    /// Smallest stack distance of the band (in lines, ≥ 1).
+    pub min_distance: u64,
+    /// Largest stack distance of the band (inclusive).
+    pub max_distance: u64,
+    /// Relative weight of the band.
+    pub weight: f64,
+}
+
+impl ReuseBand {
+    /// Convenience constructor.
+    pub fn new(min_distance: u64, max_distance: u64, weight: f64) -> Self {
+        ReuseBand {
+            min_distance,
+            max_distance,
+            weight,
+        }
+    }
+}
+
+/// Generates accesses whose reuse distances are drawn from a banded
+/// profile, with a configurable cold-miss (first-touch) fraction.
+///
+/// ```
+/// use molcache_trace::gen::{ReuseProfileSource, ReuseBand, TraceSource};
+/// use molcache_trace::{Address, Asid};
+///
+/// // 80% of reuses within 64 lines, the rest within 4096.
+/// let mut src = ReuseProfileSource::new(
+///     Asid::new(1),
+///     Address::new(0),
+///     vec![ReuseBand::new(1, 64, 0.8), ReuseBand::new(65, 4096, 0.2)],
+///     0.02, // 2% cold references
+///     0.0,
+///     7,
+/// ).unwrap();
+/// assert!(src.next_access().is_some());
+/// ```
+pub struct ReuseProfileSource {
+    asid: Asid,
+    base: Address,
+    bands: Vec<ReuseBand>,
+    choice: WeightedChoice,
+    cold_fraction: f64,
+    write_frac: f64,
+    /// LRU stack: most recent at the back. Line numbers are frontier-
+    /// allocated (0, 1, 2, ...).
+    stack: Vec<u64>,
+    next_new_line: u64,
+    rng: Rng,
+}
+
+impl std::fmt::Debug for ReuseProfileSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReuseProfileSource")
+            .field("asid", &self.asid)
+            .field("bands", &self.bands.len())
+            .field("cold_fraction", &self.cold_fraction)
+            .field("footprint_lines", &self.next_new_line)
+            .finish()
+    }
+}
+
+/// Cap on the tracked LRU stack; distances beyond this degrade to the
+/// deepest available entry.
+const MAX_STACK: usize = 1 << 20;
+
+impl ReuseProfileSource {
+    /// Creates a reuse-profile source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TraceError::InvalidParameter`] when `bands` is
+    /// empty, a band has `min_distance == 0` or `min > max`, or
+    /// `cold_fraction` is outside `(0, 1]` (some cold references are
+    /// required — reuse needs a population to draw from).
+    pub fn new(
+        asid: Asid,
+        base: Address,
+        bands: Vec<ReuseBand>,
+        cold_fraction: f64,
+        write_frac: f64,
+        seed: u64,
+    ) -> Result<Self, crate::TraceError> {
+        use crate::TraceError::InvalidParameter;
+        if bands.is_empty() {
+            return Err(InvalidParameter {
+                name: "bands",
+                constraint: "at least one reuse band is required",
+            });
+        }
+        for b in &bands {
+            if b.min_distance == 0 || b.min_distance > b.max_distance {
+                return Err(InvalidParameter {
+                    name: "bands",
+                    constraint: "bands need 1 <= min_distance <= max_distance",
+                });
+            }
+            if !(b.weight >= 0.0 && b.weight.is_finite()) {
+                return Err(InvalidParameter {
+                    name: "bands",
+                    constraint: "band weights must be non-negative",
+                });
+            }
+        }
+        if !(cold_fraction > 0.0 && cold_fraction <= 1.0) {
+            return Err(InvalidParameter {
+                name: "cold_fraction",
+                constraint: "must lie in (0, 1]",
+            });
+        }
+        let weights: Vec<f64> = bands.iter().map(|b| b.weight).collect();
+        Ok(ReuseProfileSource {
+            asid,
+            base,
+            bands,
+            choice: WeightedChoice::new(&weights),
+            cold_fraction,
+            write_frac: write_frac.clamp(0.0, 1.0),
+            stack: Vec::new(),
+            next_new_line: 0,
+            rng: Rng::seeded(seed),
+        })
+    }
+
+    /// Distinct lines touched so far.
+    pub fn footprint_lines(&self) -> u64 {
+        self.next_new_line
+    }
+
+    fn touch_new(&mut self) -> u64 {
+        let line = self.next_new_line;
+        self.next_new_line += 1;
+        if self.stack.len() == MAX_STACK {
+            self.stack.remove(0);
+        }
+        self.stack.push(line);
+        line
+    }
+
+    fn touch_at_distance(&mut self, distance: u64) -> u64 {
+        debug_assert!(!self.stack.is_empty());
+        // Stack distance 1 = most recently used.
+        let d = (distance as usize).clamp(1, self.stack.len());
+        let idx = self.stack.len() - d;
+        let line = self.stack.remove(idx);
+        self.stack.push(line);
+        line
+    }
+}
+
+impl TraceSource for ReuseProfileSource {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        let line = if self.stack.is_empty() || self.rng.gen_bool(self.cold_fraction) {
+            self.touch_new()
+        } else {
+            let band = self.bands[self.choice.sample_index(&mut self.rng)];
+            let span = band.max_distance - band.min_distance + 1;
+            let distance = band.min_distance + self.rng.gen_range(span);
+            self.touch_at_distance(distance)
+        };
+        let kind = if self.write_frac > 0.0 && self.rng.gen_bool(self.write_frac) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        Some(MemAccess::new(self.asid, self.base.byte_add(line * 64), kind))
+    }
+
+    fn asid(&self) -> Asid {
+        self.asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::analyze;
+
+    fn source(bands: Vec<ReuseBand>, cold: f64) -> ReuseProfileSource {
+        ReuseProfileSource::new(Asid::new(1), Address::new(0), bands, cold, 0.0, 9).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_inputs() {
+        let mk = |bands, cold| {
+            ReuseProfileSource::new(Asid::new(1), Address::new(0), bands, cold, 0.0, 1)
+        };
+        assert!(mk(vec![], 0.1).is_err());
+        assert!(mk(vec![ReuseBand::new(0, 4, 1.0)], 0.1).is_err());
+        assert!(mk(vec![ReuseBand::new(8, 4, 1.0)], 0.1).is_err());
+        assert!(mk(vec![ReuseBand::new(1, 4, 1.0)], 0.0).is_err());
+        assert!(mk(vec![ReuseBand::new(1, 4, 1.0)], 0.1).is_ok());
+    }
+
+    #[test]
+    fn cold_fraction_controls_footprint() {
+        let mut tight = source(vec![ReuseBand::new(1, 8, 1.0)], 0.01);
+        let mut loose = source(vec![ReuseBand::new(1, 8, 1.0)], 0.5);
+        for _ in 0..20_000 {
+            tight.next_access();
+            loose.next_access();
+        }
+        assert!(loose.footprint_lines() > 5 * tight.footprint_lines());
+    }
+
+    #[test]
+    fn generated_profile_matches_request() {
+        // Request: all reuses within 32 lines. The measured histogram's
+        // mass must sit in buckets < 2^6.
+        let mut src = source(vec![ReuseBand::new(1, 32, 1.0)], 0.05);
+        let accs = src.collect_n(30_000);
+        let stats = analyze(&accs);
+        let close: u64 = stats.reuse_hist[..6].iter().sum();
+        let far: u64 = stats.reuse_hist[6..].iter().sum();
+        assert!(
+            close as f64 / (close + far).max(1) as f64 > 0.95,
+            "close {close} far {far}"
+        );
+    }
+
+    #[test]
+    fn two_band_profile_splits_mass() {
+        let mut src = source(
+            vec![ReuseBand::new(1, 16, 0.5), ReuseBand::new(512, 1024, 0.5)],
+            0.05,
+        );
+        let accs = src.collect_n(60_000);
+        let stats = analyze(&accs);
+        let near: u64 = stats.reuse_hist[..5].iter().sum(); // < 32
+        let far: u64 = stats.reuse_hist[9..11].iter().sum(); // 512..2048
+        let total: u64 = stats.reuse_hist.iter().sum();
+        assert!(near as f64 / total as f64 > 0.35, "near {near}/{total}");
+        assert!(far as f64 / total as f64 > 0.30, "far {far}/{total}");
+    }
+
+    #[test]
+    fn knee_lands_where_requested() {
+        // All reuse within 256 lines: a 512-line LRU cache hits nearly
+        // everything except colds; a 64-line one misses the deep band.
+        let mut src = source(vec![ReuseBand::new(128, 256, 1.0)], 0.02);
+        let accs = src.collect_n(40_000);
+        let stats = analyze(&accs);
+        assert!(stats.hit_fraction_at(512) > 0.9);
+        assert!(stats.hit_fraction_at(64) < 0.1);
+    }
+
+    #[test]
+    fn debug_format_is_informative() {
+        let src = source(vec![ReuseBand::new(1, 4, 1.0)], 0.1);
+        let dbg = format!("{src:?}");
+        assert!(dbg.contains("ReuseProfileSource"));
+        assert!(dbg.contains("cold_fraction"));
+    }
+}

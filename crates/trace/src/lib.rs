@@ -1,0 +1,53 @@
+//! # molcache-trace — synthetic memory-reference streams
+//!
+//! This crate is the workload substrate of the Molecular Caches (MICRO 2006)
+//! reproduction. The paper drives its cache simulators with L1-D miss traces
+//! of SPEC / NetBench / MediaBench programs collected on the SESC CMP
+//! simulator. Those traces (and SESC itself) are not available here, so this
+//! crate provides deterministic *synthetic* address-stream generators whose
+//! knobs — working-set size, reuse-distance distribution, stride structure,
+//! phase behaviour — control exactly the properties the paper's experiments
+//! measure (capacity misses, conflict misses, inter-application
+//! interference, resizing dynamics).
+//!
+//! The crate offers:
+//!
+//! * [`Address`], [`Asid`] and [`MemAccess`] — the vocabulary types shared by
+//!   every simulator in the workspace.
+//! * [`rng`] — a small deterministic PRNG (SplitMix64 / xoshiro256**) so
+//!   every experiment is bit-exactly reproducible across platforms.
+//! * [`dist`] — sampling distributions (uniform, Zipf, geometric, weighted).
+//! * [`gen`] — composable trace generators (strided streams, working-set
+//!   reuse, pointer chasing, loops, mixtures, phases).
+//! * [`presets`] — named benchmark models (`art`, `mcf`, `ammp`, `parser`,
+//!   the 12-program mixed workload, …) calibrated to the qualitative miss
+//!   behaviour reported in the paper.
+//! * [`interleave`] — merging per-application streams into a CMP-visible
+//!   stream (round-robin or time-quantum interleaving).
+//! * [`stats`] — footprint and reuse-distance analysis of streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use molcache_trace::{presets::Benchmark, gen::TraceSource, Asid};
+//!
+//! let mut src = Benchmark::Art.source(Asid::new(1), 42);
+//! let first = src.next_access().expect("infinite stream");
+//! assert_eq!(first.asid, Asid::new(1));
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod din;
+pub mod dist;
+pub mod error;
+pub mod gen;
+pub mod interleave;
+pub mod presets;
+pub mod rng;
+pub mod stats;
+
+pub use access::{AccessKind, MemAccess};
+pub use addr::{Address, Asid, LineAddr};
+pub use error::TraceError;
+pub use gen::TraceSource;

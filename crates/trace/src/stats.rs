@@ -1,0 +1,157 @@
+//! Stream analysis: footprints and reuse distances.
+//!
+//! Used to validate that synthetic benchmarks have the locality structure
+//! they claim (tests, EXPERIMENTS.md) and available to downstream users
+//! for characterizing their own traces.
+
+use crate::access::MemAccess;
+use std::collections::HashMap;
+
+/// Summary statistics of an access stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Total accesses analyzed.
+    pub accesses: u64,
+    /// Stores among them.
+    pub writes: u64,
+    /// Distinct 64-byte lines touched.
+    pub footprint_lines: u64,
+    /// Histogram of LRU stack distances (bucketed by powers of two);
+    /// `reuse_hist[k]` counts reuses with stack distance in
+    /// `[2^k, 2^(k+1))`. Cold (first-touch) references are not counted.
+    pub reuse_hist: Vec<u64>,
+    /// First-touch (cold) references.
+    pub cold: u64,
+}
+
+impl StreamStats {
+    /// Footprint in bytes (`footprint_lines * 64`).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines * 64
+    }
+
+    /// Fraction of non-cold references with stack distance < `lines`.
+    ///
+    /// This approximates the hit rate of a fully-associative LRU cache of
+    /// that many lines (Mattson's stack algorithm).
+    pub fn hit_fraction_at(&self, lines: u64) -> f64 {
+        let reuses: u64 = self.reuse_hist.iter().sum();
+        if reuses + self.cold == 0 {
+            return 0.0;
+        }
+        let mut within = 0u64;
+        for (k, &count) in self.reuse_hist.iter().enumerate() {
+            if (1u64 << k) < lines {
+                within += count;
+            }
+        }
+        within as f64 / (reuses + self.cold) as f64
+    }
+}
+
+/// Computes [`StreamStats`] over an access sequence using an exact LRU
+/// stack (O(n · footprint) worst case; intended for analysis, not the
+/// simulation fast path).
+pub fn analyze<'a, I>(accesses: I) -> StreamStats
+where
+    I: IntoIterator<Item = &'a MemAccess>,
+{
+    // LRU stack of line numbers, most recent at the back.
+    let mut stack: Vec<u64> = Vec::new();
+    let mut pos: HashMap<u64, usize> = HashMap::new();
+    let mut stats = StreamStats {
+        accesses: 0,
+        writes: 0,
+        footprint_lines: 0,
+        reuse_hist: vec![0; 40],
+        cold: 0,
+    };
+    for acc in accesses {
+        stats.accesses += 1;
+        if acc.kind.is_write() {
+            stats.writes += 1;
+        }
+        let line = acc.addr.line(64).0;
+        match pos.get(&line).copied() {
+            Some(idx) => {
+                let depth = stack.len() - 1 - idx;
+                let bucket = (64 - (depth.max(1) as u64).leading_zeros() - 1) as usize;
+                let bucket = bucket.min(stats.reuse_hist.len() - 1);
+                stats.reuse_hist[bucket] += 1;
+                // Move to top: remove and push (indices after idx shift).
+                stack.remove(idx);
+                for p in pos.values_mut() {
+                    if *p > idx {
+                        *p -= 1;
+                    }
+                }
+                pos.insert(line, stack.len());
+                stack.push(line);
+            }
+            None => {
+                stats.cold += 1;
+                stats.footprint_lines += 1;
+                pos.insert(line, stack.len());
+                stack.push(line);
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Address, Asid};
+
+    fn acc(line: u64) -> MemAccess {
+        MemAccess::read(Asid::new(1), Address::new(line * 64))
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let accs = vec![acc(0), acc(1), acc(0), acc(2), acc(1)];
+        let s = analyze(&accs);
+        assert_eq!(s.footprint_lines, 3);
+        assert_eq!(s.cold, 3);
+        assert_eq!(s.accesses, 5);
+    }
+
+    #[test]
+    fn reuse_distances_bucketized() {
+        // Pattern 0,1,0: reuse of 0 at stack distance 1 -> bucket 0.
+        let accs = vec![acc(0), acc(1), acc(0)];
+        let s = analyze(&accs);
+        assert_eq!(s.reuse_hist[0], 1);
+        assert_eq!(s.reuse_hist.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn immediate_reuse_is_distance_one_bucket() {
+        let accs = vec![acc(5), acc(5), acc(5)];
+        let s = analyze(&accs);
+        // Distance 0 clamped to 1 -> bucket 0.
+        assert_eq!(s.reuse_hist[0], 2);
+    }
+
+    #[test]
+    fn hit_fraction_monotone_in_capacity() {
+        let accs: Vec<MemAccess> = (0..1000u64).map(|i| acc(i % 64)).collect();
+        let s = analyze(&accs);
+        let small = s.hit_fraction_at(8);
+        let big = s.hit_fraction_at(128);
+        assert!(big >= small);
+        assert!(big > 0.9, "big {big}");
+    }
+
+    #[test]
+    fn writes_counted() {
+        let accs = vec![
+            MemAccess::write(Asid::new(1), Address::new(0)),
+            MemAccess::read(Asid::new(1), Address::new(64)),
+        ];
+        let s = analyze(&accs);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.footprint_bytes(), 128);
+    }
+}

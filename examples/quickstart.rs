@@ -1,0 +1,61 @@
+//! Quickstart: build a molecular cache, run a workload, read the stats.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use molecular_caches::core::{MolecularCache, MolecularConfig};
+use molecular_caches::sim::cmp::run_shared;
+use molecular_caches::sim::CacheModel;
+use molecular_caches::trace::presets::Benchmark;
+use molecular_caches::trace::Asid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2 MB molecular cache: 1 cluster x 4 tiles x 64 molecules x 8 KB,
+    // Randy replacement, 10 % miss-rate goal for every application.
+    let config = MolecularConfig::builder()
+        .molecule_size(8 * 1024)
+        .tile_molecules(64)
+        .tiles_per_cluster(4)
+        .clusters(1)
+        .miss_rate_goal(0.10)
+        .build()?;
+    let mut cache = MolecularCache::new(config);
+    println!("cache: {}", cache.describe());
+
+    // Two applications run concurrently; each gets its own exclusive,
+    // dynamically sized cache region.
+    let apps = vec![
+        Benchmark::Ammp.source(Asid::new(1), 42),
+        Benchmark::Gzip.source(Asid::new(2), 42),
+    ];
+    let summary = run_shared(apps, &mut cache, 2_000_000)?;
+
+    println!("\nper-application results:");
+    for (asid, stats) in &summary.per_app {
+        println!(
+            "  {asid}: {} accesses, miss rate {:.3}",
+            stats.accesses,
+            stats.miss_rate()
+        );
+    }
+    println!("\nregion state after the run:");
+    for snap in cache.snapshots() {
+        println!(
+            "  {}: {} molecules in {} rows (avg {:.1}), goal {:.0}%, lifetime miss rate {:.3}",
+            snap.asid,
+            snap.molecules,
+            snap.rows,
+            snap.avg_molecules,
+            snap.goal * 100.0,
+            snap.lifetime_miss_rate()
+        );
+    }
+    println!(
+        "\nactivity: {:.1} molecule probes/access, {} Ulmo searches, {} resize rounds",
+        cache.activity().probes_per_access(),
+        cache.activity().ulmo_searches,
+        cache.resize_rounds()
+    );
+    Ok(())
+}
