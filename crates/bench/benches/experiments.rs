@@ -1,4 +1,4 @@
-//! Experiment benches: one Criterion benchmark per paper table/figure.
+//! Experiment benches: one benchmark per paper table/figure.
 //!
 //! Each bench regenerates its artifact at smoke scale (100 K references)
 //! so `cargo bench` both exercises the full experiment pipelines and
@@ -9,115 +9,59 @@
 //! cargo run -p molcache-bench --release --bin repro -- all --scale paper
 //! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use molcache_bench::experiments::{ablations, fig5, fig6, table1, table2, table4, table5};
+use molcache_bench::stopwatch::{bench, section};
 use molcache_bench::ExperimentScale;
+use std::time::Duration;
 
 const SCALE: ExperimentScale = ExperimentScale::Custom(100_000);
+const BUDGET: Duration = Duration::from_millis(500);
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table1_interference", |b| {
-        b.iter(|| std::hint::black_box(table1::run(SCALE)))
+fn main() {
+    section("paper");
+    bench("table1_interference", BUDGET, || {
+        std::hint::black_box(table1::run(SCALE));
     });
-    g.finish();
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
     // One representative point per graph (the full 2x24-point sweep runs
     // via the repro binary).
-    g.bench_function("fig5a_point_4mb_randy", |b| {
-        b.iter(|| {
-            std::hint::black_box(fig5::run_point(
-                fig5::Graph::A,
-                4 << 20,
-                fig5::Config::Molecular(molcache_core::RegionPolicy::Randy),
-                SCALE,
-            ))
-        })
+    bench("fig5a_point_4mb_randy", BUDGET, || {
+        std::hint::black_box(fig5::run_point(
+            fig5::Graph::A,
+            4 << 20,
+            fig5::Config::Molecular(molcache_core::RegionPolicy::Randy),
+            SCALE,
+        ));
     });
-    g.bench_function("fig5b_point_2mb_traditional4", |b| {
-        b.iter(|| {
-            std::hint::black_box(fig5::run_point(
-                fig5::Graph::B,
-                2 << 20,
-                fig5::Config::Traditional(4),
-                SCALE,
-            ))
-        })
+    bench("fig5b_point_2mb_traditional4", BUDGET, || {
+        std::hint::black_box(fig5::run_point(
+            fig5::Graph::B,
+            2 << 20,
+            fig5::Config::Traditional(4),
+            SCALE,
+        ));
     });
-    g.finish();
+    bench("table2_molecular_randy", BUDGET, || {
+        std::hint::black_box(table2::run_config(
+            table2::Config::Molecular(molcache_core::RegionPolicy::Randy),
+            SCALE,
+        ));
+    });
+    bench("table2_8mb_8way", BUDGET, || {
+        std::hint::black_box(table2::run_config(
+            table2::Config::Traditional(8 << 20, 8),
+            SCALE,
+        ));
+    });
+    bench("table4_power", BUDGET, || {
+        std::hint::black_box(table4::run(SCALE));
+    });
+    bench("fig6_hpm", BUDGET, || {
+        std::hint::black_box(fig6::run(SCALE));
+    });
+    bench("table5_power_deviation", BUDGET, || {
+        std::hint::black_box(table5::run(SCALE));
+    });
+    bench("ablation_resize_triggers", BUDGET, || {
+        std::hint::black_box(ablations::resize_triggers(SCALE));
+    });
 }
-
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table2_molecular_randy", |b| {
-        b.iter(|| {
-            std::hint::black_box(table2::run_config(
-                table2::Config::Molecular(molcache_core::RegionPolicy::Randy),
-                SCALE,
-            ))
-        })
-    });
-    g.bench_function("table2_8mb_8way", |b| {
-        b.iter(|| {
-            std::hint::black_box(table2::run_config(
-                table2::Config::Traditional(8 << 20, 8),
-                SCALE,
-            ))
-        })
-    });
-    g.finish();
-}
-
-fn bench_table4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table4_power", |b| {
-        b.iter(|| std::hint::black_box(table4::run(SCALE)))
-    });
-    g.finish();
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("fig6_hpm", |b| {
-        b.iter(|| std::hint::black_box(fig6::run(SCALE)))
-    });
-    g.finish();
-}
-
-fn bench_table5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("table5_power_deviation", |b| {
-        b.iter(|| std::hint::black_box(table5::run(SCALE)))
-    });
-    g.finish();
-}
-
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.bench_function("ablation_resize_triggers", |b| {
-        b.iter(|| std::hint::black_box(ablations::resize_triggers(SCALE)))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_table1,
-    bench_fig5,
-    bench_table2,
-    bench_table4,
-    bench_fig6,
-    bench_table5,
-    bench_ablations,
-);
-criterion_main!(benches);

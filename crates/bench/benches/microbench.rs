@@ -2,9 +2,12 @@
 //!
 //! These measure the *simulator* (accesses per second, organization
 //! search cost), complementing the experiment benches that regenerate the
-//! paper's tables.
+//! paper's tables. Timing runs on the in-tree [`stopwatch`] runner (the
+//! workspace builds offline, so no external bench harness).
+//!
+//! [`stopwatch`]: molcache_bench::stopwatch
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use molcache_bench::stopwatch::{bench, bench_throughput, section};
 use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
 use molcache_power::cacti::analyze;
 use molcache_power::tech::TechNode;
@@ -14,203 +17,196 @@ use molcache_trace::gen::TraceSource;
 use molcache_trace::presets::Benchmark;
 use molcache_trace::rng::Rng;
 use molcache_trace::Asid;
+use std::time::Duration;
 
 const BATCH: usize = 10_000;
+const BUDGET: Duration = Duration::from_millis(300);
 
 fn trace(n: usize) -> Vec<Request> {
     let mut src = Benchmark::Parser.source(Asid::new(1), 3);
     src.collect_n(n).into_iter().map(Request::from).collect()
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trace_generation");
-    group.throughput(Throughput::Elements(BATCH as u64));
-    for bench in [Benchmark::Ammp, Benchmark::Mcf, Benchmark::Crc] {
-        group.bench_function(bench.name(), |b| {
-            let mut src = bench.source(Asid::new(1), 7);
-            b.iter(|| {
-                for _ in 0..BATCH {
-                    std::hint::black_box(src.next_access());
-                }
-            });
+fn bench_trace_generation() {
+    section("trace_generation");
+    for bm in [Benchmark::Ammp, Benchmark::Mcf, Benchmark::Crc] {
+        let mut src = bm.source(Asid::new(1), 7);
+        bench_throughput(bm.name(), BATCH as u64, BUDGET, || {
+            for _ in 0..BATCH {
+                std::hint::black_box(src.next_access());
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_set_assoc_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("set_assoc_access");
-    group.throughput(Throughput::Elements(BATCH as u64));
+fn bench_reuse_profile_generation() {
+    use molcache_trace::gen::{ReuseBand, ReuseProfileSource};
+    use molcache_trace::Address;
+    let mut src = ReuseProfileSource::new(
+        Asid::new(1),
+        Address::new(0),
+        vec![ReuseBand::new(1, 64, 0.7), ReuseBand::new(64, 4096, 0.3)],
+        0.02,
+        0.1,
+        5,
+    )
+    .unwrap();
+    bench_throughput("reuse_profile", BATCH as u64, BUDGET, || {
+        for _ in 0..BATCH {
+            std::hint::black_box(src.next_access());
+        }
+    });
+}
+
+fn bench_set_assoc_access() {
+    section("set_assoc_access");
     let reqs = trace(BATCH);
     for assoc in [1u32, 4, 8] {
-        group.bench_function(format!("1MB_{assoc}way"), |b| {
-            let mut cache =
-                SetAssocCache::lru(CacheConfig::new(1 << 20, assoc, 64).unwrap());
-            b.iter(|| {
-                for req in &reqs {
-                    std::hint::black_box(cache.access(*req));
-                }
-            });
+        let mut cache = SetAssocCache::lru(CacheConfig::new(1 << 20, assoc, 64).unwrap());
+        bench_throughput(&format!("1MB_{assoc}way"), BATCH as u64, BUDGET, || {
+            for req in &reqs {
+                std::hint::black_box(cache.access(*req));
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_molecular_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("molecular_access");
-    group.throughput(Throughput::Elements(BATCH as u64));
+fn bench_molecular_access() {
+    section("molecular_access");
     let reqs = trace(BATCH);
     for policy in [
         RegionPolicy::Random,
         RegionPolicy::Randy,
         RegionPolicy::LruDirect,
     ] {
-        group.bench_function(format!("1MB_{policy}"), |b| {
-            let config = MolecularConfig::builder()
-                .molecule_size(8 * 1024)
-                .tile_molecules(32)
-                .tiles_per_cluster(4)
-                .clusters(1)
-                .policy(policy)
-                .build()
-                .unwrap();
-            let mut cache = MolecularCache::new(config);
-            b.iter(|| {
-                for req in &reqs {
-                    std::hint::black_box(cache.access(*req));
-                }
-            });
+        let config = MolecularConfig::builder()
+            .molecule_size(8 * 1024)
+            .tile_molecules(32)
+            .tiles_per_cluster(4)
+            .clusters(1)
+            .policy(policy)
+            .build()
+            .unwrap();
+        let mut cache = MolecularCache::new(config);
+        bench_throughput(&format!("1MB_{policy}"), BATCH as u64, BUDGET, || {
+            for req in &reqs {
+                std::hint::black_box(cache.access(*req));
+            }
         });
     }
-    group.finish();
 }
 
-fn bench_resize_round(c: &mut Criterion) {
-    // Cost of one full resize round (the paper estimates ~1500 cycles per
-    // application on a host core; here we measure our simulator's cost).
-    c.bench_function("resize_round_4apps", |b| {
-        let mk = || {
-            let config = MolecularConfig::builder()
-                .molecule_size(8 * 1024)
-                .tile_molecules(64)
-                .tiles_per_cluster(4)
-                .clusters(1)
-                // Constant period 1000: exactly one resize per 1000 accesses.
-                .trigger(ResizeTrigger::Constant { period: 1_000 })
-                .build()
-                .unwrap();
-            let mut cache = MolecularCache::new(config);
-            let mut sources: Vec<_> = Benchmark::SPEC4
-                .iter()
-                .enumerate()
-                .map(|(i, bench)| bench.source(Asid::new(i as u16 + 1), 3))
-                .collect();
-            // Warm the regions so resize rounds have real work to do.
-            for _ in 0..250 {
-                for src in &mut sources {
-                    let acc = src.next_access().unwrap();
-                    cache.access(Request::from(acc));
-                }
-            }
-            (cache, sources)
-        };
-        b.iter_batched(
-            mk,
-            |(mut cache, mut sources)| {
-                for _ in 0..250 {
-                    for src in &mut sources {
-                        let acc = src.next_access().unwrap();
-                        std::hint::black_box(cache.access(Request::from(acc)));
-                    }
-                }
-                cache
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_molecular_access_batched() {
+    // The batched entry point the parallel experiment engine drives:
+    // same requests as `molecular_access`, one `access_batch` call per
+    // iteration instead of a per-request dispatch loop.
+    section("molecular_access_batched");
+    let reqs = trace(BATCH);
+    let config = MolecularConfig::builder()
+        .molecule_size(8 * 1024)
+        .tile_molecules(32)
+        .tiles_per_cluster(4)
+        .clusters(1)
+        .policy(RegionPolicy::Randy)
+        .build()
+        .unwrap();
+    let mut cache = MolecularCache::new(config);
+    bench_throughput("1MB_Randy_batched", BATCH as u64, BUDGET, || {
+        std::hint::black_box(cache.access_batch(&reqs));
     });
 }
 
-fn bench_replacement_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("replacement_victim");
-    for policy in [Policy::Lru, Policy::Fifo, Policy::Random, Policy::PlruTree] {
-        group.bench_function(format!("{policy}_8way"), |b| {
-            let mut p = SetPolicy::new(policy, 8);
-            let mut rng = Rng::seeded(3);
-            for w in 0..8 {
-                p.on_fill(w);
+fn bench_resize_round() {
+    // Cost of one full resize round (the paper estimates ~1500 cycles per
+    // application on a host core; here we measure our simulator's cost).
+    section("resize");
+    let mk = || {
+        let config = MolecularConfig::builder()
+            .molecule_size(8 * 1024)
+            .tile_molecules(64)
+            .tiles_per_cluster(4)
+            .clusters(1)
+            // Constant period 1000: exactly one resize per 1000 accesses.
+            .trigger(ResizeTrigger::Constant { period: 1_000 })
+            .build()
+            .unwrap();
+        let mut cache = MolecularCache::new(config);
+        let mut sources: Vec<_> = Benchmark::SPEC4
+            .iter()
+            .enumerate()
+            .map(|(i, bm)| bm.source(Asid::new(i as u16 + 1), 3))
+            .collect();
+        // Warm the regions so resize rounds have real work to do.
+        for _ in 0..250 {
+            for src in &mut sources {
+                let acc = src.next_access().unwrap();
+                cache.access(Request::from(acc));
             }
-            b.iter(|| {
-                let v = p.victim(&mut rng);
-                p.on_hit(std::hint::black_box(v));
-            });
-        });
-    }
-    group.finish();
+        }
+        (cache, sources)
+    };
+    bench("resize_round_4apps", BUDGET, || {
+        let (mut cache, mut sources) = mk();
+        for _ in 0..250 {
+            for src in &mut sources {
+                let acc = src.next_access().unwrap();
+                std::hint::black_box(cache.access(Request::from(acc)));
+            }
+        }
+        std::hint::black_box(&cache);
+    });
 }
 
-fn bench_din_parse(c: &mut Criterion) {
+fn bench_replacement_policies() {
+    section("replacement_victim");
+    for policy in [Policy::Lru, Policy::Fifo, Policy::Random, Policy::PlruTree] {
+        let mut p = SetPolicy::new(policy, 8);
+        let mut rng = Rng::seeded(3);
+        for w in 0..8 {
+            p.on_fill(w);
+        }
+        bench(&format!("{policy}_8way"), BUDGET, || {
+            for _ in 0..1000 {
+                let v = p.victim(&mut rng);
+                p.on_hit(std::hint::black_box(v));
+            }
+        });
+    }
+}
+
+fn bench_din_parse() {
     use molcache_trace::din::{read_din, write_din};
+    section("din");
     let mut src = Benchmark::Gcc.source(Asid::new(1), 3);
     let accs = src.collect_n(BATCH);
     let mut bytes = Vec::new();
     write_din(&accs, &mut bytes).unwrap();
-    let mut group = c.benchmark_group("din");
-    group.throughput(Throughput::Elements(BATCH as u64));
-    group.bench_function("parse", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                read_din(std::io::Cursor::new(&bytes), Asid::new(1)).unwrap(),
-            )
-        })
+    bench_throughput("parse", BATCH as u64, BUDGET, || {
+        std::hint::black_box(read_din(std::io::Cursor::new(&bytes), Asid::new(1)).unwrap());
     });
-    group.finish();
 }
 
-fn bench_reuse_profile_generation(c: &mut Criterion) {
-    use molcache_trace::gen::{ReuseBand, ReuseProfileSource};
-    use molcache_trace::Address;
-    let mut group = c.benchmark_group("trace_generation");
-    group.throughput(Throughput::Elements(BATCH as u64));
-    group.bench_function("reuse_profile", |b| {
-        let mut src = ReuseProfileSource::new(
-            Asid::new(1),
-            Address::new(0),
-            vec![ReuseBand::new(1, 64, 0.7), ReuseBand::new(64, 4096, 0.3)],
-            0.02,
-            0.1,
-            5,
-        )
-        .unwrap();
-        b.iter(|| {
-            for _ in 0..BATCH {
-                std::hint::black_box(src.next_access());
-            }
-        });
-    });
-    group.finish();
-}
-
-fn bench_power_model(c: &mut Criterion) {
+fn bench_power_model() {
+    section("power_model");
     let node = TechNode::nm70();
-    c.bench_function("cacti_analyze_8mb_4way", |b| {
-        let cfg = CacheConfig::new(8 << 20, 4, 64).unwrap().with_ports(4);
-        b.iter(|| std::hint::black_box(analyze(&cfg, &node)));
+    let big = CacheConfig::new(8 << 20, 4, 64).unwrap().with_ports(4);
+    bench("cacti_analyze_8mb_4way", BUDGET, || {
+        std::hint::black_box(analyze(&big, &node));
     });
-    c.bench_function("cacti_analyze_molecule", |b| {
-        let cfg = CacheConfig::new(8 << 10, 1, 64).unwrap();
-        b.iter(|| std::hint::black_box(analyze(&cfg, &node)));
+    let molecule = CacheConfig::new(8 << 10, 1, 64).unwrap();
+    bench("cacti_analyze_molecule", BUDGET, || {
+        std::hint::black_box(analyze(&molecule, &node));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_trace_generation,
-    bench_reuse_profile_generation,
-    bench_set_assoc_access,
-    bench_molecular_access,
-    bench_resize_round,
-    bench_replacement_policies,
-    bench_din_parse,
-    bench_power_model,
-);
-criterion_main!(benches);
+fn main() {
+    bench_trace_generation();
+    bench_reuse_profile_generation();
+    bench_set_assoc_access();
+    bench_molecular_access();
+    bench_molecular_access_batched();
+    bench_resize_round();
+    bench_replacement_policies();
+    bench_din_parse();
+    bench_power_model();
+}

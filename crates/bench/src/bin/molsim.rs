@@ -12,7 +12,7 @@
 //! miss rates, region state (molecular), activity counters and — with
 //! `--power` — dynamic power at the chosen frequency.
 
-use molcache_bench::harness::asid_of;
+use molcache_bench::harness::{asid_of, Engine};
 use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
 use molcache_power::accounting::EnergyMeter;
 use molcache_power::cacti::analyze;
@@ -41,6 +41,7 @@ struct Args {
     power: bool,
     freq_mhz: f64,
     analyze: bool,
+    jobs: usize,
 }
 
 fn parse_size(s: &str) -> Option<u64> {
@@ -60,7 +61,7 @@ fn usage() -> ! {
         "usage: molsim --cache molecular|setassoc [--size 2MB] [--assoc 4]\n\
          \u{20}             [--policy random|randy|lru-direct] [--goal 0.10]\n\
          \u{20}             [--apps art,mcf,...] [--din FILE] [--refs N]\n\
-         \u{20}             [--seed N] [--power] [--freq MHZ] [--analyze]\n\
+         \u{20}             [--seed N] [--power] [--freq MHZ] [--analyze] [--jobs N]\n\
          known apps: {}",
         Benchmark::ALL
             .iter()
@@ -85,6 +86,7 @@ fn parse_args() -> Args {
         power: false,
         freq_mhz: 200.0,
         analyze: false,
+        jobs: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,6 +116,12 @@ fn parse_args() -> Args {
             "--power" => args.power = true,
             "--analyze" => args.analyze = true,
             "--freq" => args.freq_mhz = value().parse().unwrap_or_else(|_| usage()),
+            "--jobs" => {
+                args.jobs = value().parse().unwrap_or_else(|_| usage());
+                if args.jobs == 0 {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -184,12 +192,15 @@ fn report<C: CacheModel>(cache: &C, args: &Args, summary: &molcache_sim::cmp::Ru
 
 fn analyze_stream(args: &Args) {
     use molcache_trace::gen::TraceSource;
-    let mut sources = build_sources(args);
-    println!("stream analysis (first {} refs per app):", args.refs.min(200_000));
-    for src in &mut sources {
-        let accs = src.collect_n(args.refs.min(200_000) as usize);
+    let sources = build_sources(args);
+    let limit = args.refs.min(200_000);
+    println!("stream analysis (first {limit} refs per app):");
+    // Each stream is analyzed independently; --jobs fans them across
+    // workers while keeping the report in app order.
+    let lines = Engine::new(args.jobs).run(sources, |mut src| {
+        let accs = src.collect_n(limit as usize);
         let stats = molcache_trace::stats::analyze(&accs);
-        println!(
+        format!(
             "  {}: {} refs, footprint {} KB, {:.1}% writes, LRU hit@1K lines {:.1}%, @16K {:.1}%",
             src.asid(),
             stats.accesses,
@@ -197,7 +208,10 @@ fn analyze_stream(args: &Args) {
             100.0 * stats.writes as f64 / stats.accesses.max(1) as f64,
             100.0 * stats.hit_fraction_at(1 << 10),
             100.0 * stats.hit_fraction_at(16 << 10),
-        );
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }
 

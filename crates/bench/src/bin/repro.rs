@@ -2,26 +2,39 @@
 //!
 //! ```text
 //! repro [table1|fig5|table2|table4|fig6|table5|ablations|all]
-//!       [--scale smoke|quick|paper] [--refs N] [--json DIR]
+//!       [--scale smoke|quick|paper] [--refs N] [--json DIR] [--jobs N]
 //! ```
 //!
 //! With `--json DIR` each experiment also writes a machine-readable
-//! record as `DIR/<id>.json`.
+//! record as `DIR/<id>.json`. With `--jobs N` independent experiment
+//! points fan out over N worker threads; the output is byte-identical
+//! to `--jobs 1` because every point owns its cache and trace sources
+//! and results are merged in a fixed order.
 
 use molcache_bench::experiments::{ablations, fig5, fig6, table1, table2, table4, table5};
-use molcache_bench::ExperimentScale;
+use molcache_bench::{Engine, ExperimentScale};
 use std::io::Write as _;
 
-fn parse_args() -> (Vec<String>, ExperimentScale, Option<String>) {
-    let mut targets = Vec::new();
-    let mut scale = ExperimentScale::Quick;
-    let mut json_dir = None;
+struct Options {
+    targets: Vec<String>,
+    scale: ExperimentScale,
+    json_dir: Option<String>,
+    jobs: usize,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        targets: Vec::new(),
+        scale: ExperimentScale::Quick,
+        json_dir: None,
+        jobs: 1,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
                 let v = args.next().unwrap_or_default();
-                scale = match v.as_str() {
+                opts.scale = match v.as_str() {
                     "smoke" => ExperimentScale::Smoke,
                     "quick" => ExperimentScale::Quick,
                     "paper" => ExperimentScale::Paper,
@@ -34,21 +47,31 @@ fn parse_args() -> (Vec<String>, ExperimentScale, Option<String>) {
             "--refs" => {
                 let v = args.next().unwrap_or_default();
                 match v.parse::<u64>() {
-                    Ok(n) => scale = ExperimentScale::Custom(n),
+                    Ok(n) => opts.scale = ExperimentScale::Custom(n),
                     Err(_) => {
                         eprintln!("--refs expects a number, got `{v}`");
                         std::process::exit(2);
                     }
                 }
             }
-            "--json" => json_dir = args.next(),
-            other => targets.push(other.to_string()),
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => opts.jobs = n,
+                    _ => {
+                        eprintln!("--jobs expects a positive number, got `{v}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => opts.json_dir = args.next(),
+            other => opts.targets.push(other.to_string()),
         }
     }
-    if targets.is_empty() {
-        targets.push("all".to_string());
+    if opts.targets.is_empty() {
+        opts.targets.push("all".to_string());
     }
-    (targets, scale, json_dir)
+    opts
 }
 
 fn write_json(dir: &Option<String>, id: &str, json: String) {
@@ -62,56 +85,63 @@ fn write_json(dir: &Option<String>, id: &str, json: String) {
 }
 
 fn main() {
-    let (targets, scale, json_dir) = parse_args();
-    let all = targets.iter().any(|t| t == "all");
-    let wants = |name: &str| all || targets.iter().any(|t| t == name);
+    let opts = parse_args();
+    let scale = opts.scale;
+    let engine = Engine::new(opts.jobs);
+    let all = opts.targets.iter().any(|t| t == "all");
+    let wants = |name: &str| all || opts.targets.iter().any(|t| t == name);
     let start = std::time::Instant::now();
 
     if wants("table1") {
-        let t = table1::run(scale);
+        let t = table1::run_with(scale, &engine);
         println!("{}", t.render());
-        write_json(&json_dir, "table1", t.record().to_json());
+        write_json(&opts.json_dir, "table1", t.record().to_json());
     }
     if wants("fig5") {
         for graph in [fig5::Graph::A, fig5::Graph::B] {
-            let f = fig5::run(graph, scale);
+            let f = fig5::run_with(graph, scale, &engine);
             println!("{}", f.render());
-            write_json(&json_dir, &f.record().id.clone(), f.record().to_json());
+            write_json(&opts.json_dir, &f.record().id.clone(), f.record().to_json());
         }
     }
     // Table 2 feeds Table 5; run them together so the measurement is shared.
     let mut t2_cache = None;
     if wants("table2") {
-        let t = table2::run(scale);
+        let t = table2::run_with(scale, &engine);
         println!("{}", t.render());
-        write_json(&json_dir, "table2", t.record().to_json());
+        write_json(&opts.json_dir, "table2", t.record().to_json());
         t2_cache = Some(t);
     }
     if wants("table4") {
-        let t = table4::run(scale);
+        let t = table4::run_with(scale, &engine);
         println!("{}", t.render());
-        write_json(&json_dir, "table4", t.record().to_json());
+        write_json(&opts.json_dir, "table4", t.record().to_json());
     }
     if wants("fig6") {
-        let f = fig6::run(scale);
+        let f = fig6::run_with(scale, &engine);
         println!("{}", f.render());
-        write_json(&json_dir, "fig6", f.record().to_json());
+        write_json(&opts.json_dir, "fig6", f.record().to_json());
     }
     if wants("table5") {
         let t = match &t2_cache {
             Some(t2) => table5::run_from_table2(t2),
-            None => table5::run(scale),
+            None => table5::run_with(scale, &engine),
         };
         println!("{}", t.render());
-        write_json(&json_dir, "table5", t.record().to_json());
+        write_json(&opts.json_dir, "table5", t.record().to_json());
     }
     if wants("ablations") {
-        println!("{}", ablations::run(scale));
-        write_json(&json_dir, "ablations", ablations::record(scale).to_json());
+        println!("{}", ablations::run_with(scale, &engine));
+        write_json(
+            &opts.json_dir,
+            "ablations",
+            ablations::record_with(scale, &engine).to_json(),
+        );
     }
     eprintln!(
-        "done in {:.1}s ({} references per experiment)",
+        "done in {:.1}s ({} references per experiment, {} jobs)",
         start.elapsed().as_secs_f64(),
-        scale.references()
+        scale.references(),
+        engine.jobs()
     );
 }

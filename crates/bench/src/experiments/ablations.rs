@@ -16,7 +16,7 @@
 //!   LRU-Direct scheme (§5: "a different scheme for replacements such as
 //!   an LRU-Direct scheme needs to be evaluated").
 
-use crate::harness::{asid_of, run_workload_on, run_workload_warmed, ExperimentScale};
+use crate::harness::{asid_of, run_workload_on, run_workload_warmed, Engine, ExperimentScale};
 use molcache_core::{
     InitialAllocation, MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger,
 };
@@ -219,11 +219,11 @@ pub fn row_max(scale: ExperimentScale) -> Vec<AblationResult> {
         .collect()
 }
 
-/// Runs every ablation and renders a combined report.
-pub fn run(scale: ExperimentScale) -> String {
-    let mut out = String::new();
-    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
-    for r in resize_triggers(scale) {
+/// Renders the standard ablation table (variant, deviation, resize and
+/// starvation counters).
+fn ablation_table(first_col: &str, rows: Vec<AblationResult>) -> String {
+    let mut t = Table::new(vec![first_col, "avg deviation", "resizes", "starved"]);
+    for r in rows {
         t.row(vec![
             r.label,
             fmt_f64(r.avg_deviation, 3),
@@ -231,125 +231,116 @@ pub fn run(scale: ExperimentScale) -> String {
             r.failed_allocations.to_string(),
         ]);
     }
-    out.push_str(&format!("Ablation A: resize triggers (2MB)\n{}\n", t.render()));
-
-    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
-    for r in initial_allocation(scale) {
-        t.row(vec![
-            r.label,
-            fmt_f64(r.avg_deviation, 3),
-            r.resize_rounds.to_string(),
-            r.failed_allocations.to_string(),
-        ]);
-    }
-    out.push_str(&format!("Ablation B: initial allocation\n{}\n", t.render()));
-
-    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
-    for r in growth_chunk(scale) {
-        t.row(vec![
-            r.label,
-            fmt_f64(r.avg_deviation, 3),
-            r.resize_rounds.to_string(),
-            r.failed_allocations.to_string(),
-        ]);
-    }
-    out.push_str(&format!("Ablation C: growth chunk\n{}\n", t.render()));
-
-    let mut t = Table::new(vec!["line factor", "CRC miss rate"]);
-    for (factor, mr) in line_size_factor(scale) {
-        t.row(vec![format!("{factor}x64B"), fmt_f64(mr, 3)]);
-    }
-    out.push_str(&format!("Ablation D: line-size factor\n{}\n", t.render()));
-
-    let mut t = Table::new(vec!["scheme", "avg deviation", "resizes", "starved"]);
-    for r in replacement_schemes(scale) {
-        t.row(vec![
-            r.label,
-            fmt_f64(r.avg_deviation, 3),
-            r.resize_rounds.to_string(),
-            r.failed_allocations.to_string(),
-        ]);
-    }
-    out.push_str(&format!(
-        "Ablation E: replacement schemes (incl. future-work LRU-Direct)\n{}\n",
-        t.render()
-    ));
-
-    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
-    for r in molecule_size(scale) {
-        t.row(vec![
-            r.label,
-            fmt_f64(r.avg_deviation, 3),
-            r.resize_rounds.to_string(),
-            r.failed_allocations.to_string(),
-        ]);
-    }
-    out.push_str(&format!("Ablation F: molecule size (2MB total)\n{}\n", t.render()));
-
-    let mut t = Table::new(vec!["variant", "avg deviation", "resizes", "starved"]);
-    for r in row_max(scale) {
-        t.row(vec![
-            r.label,
-            fmt_f64(r.avg_deviation, 3),
-            r.resize_rounds.to_string(),
-            r.failed_allocations.to_string(),
-        ]);
-    }
-    out.push_str(&format!("Ablation G: configured way size (row_max)\n{}", t.render()));
-    out
+    t.render()
 }
 
-/// Machine-readable record of all ablations.
+/// A deferred ablation section (title plus the family run producing it).
+type Section = Box<dyn FnOnce() -> String + Send>;
+
+/// Runs every ablation serially and renders a combined report.
+pub fn run(scale: ExperimentScale) -> String {
+    run_with(scale, &Engine::serial())
+}
+
+/// Runs every ablation, fanning the independent families across the
+/// engine's workers, and renders the combined report. Section order (and
+/// every byte of the report) is independent of the worker count.
+pub fn run_with(scale: ExperimentScale, engine: &Engine) -> String {
+    let sections: Vec<Section> = vec![
+        Box::new(move || {
+            format!(
+                "Ablation A: resize triggers (2MB)\n{}\n",
+                ablation_table("variant", resize_triggers(scale))
+            )
+        }),
+        Box::new(move || {
+            format!(
+                "Ablation B: initial allocation\n{}\n",
+                ablation_table("variant", initial_allocation(scale))
+            )
+        }),
+        Box::new(move || {
+            format!(
+                "Ablation C: growth chunk\n{}\n",
+                ablation_table("variant", growth_chunk(scale))
+            )
+        }),
+        Box::new(move || {
+            let mut t = Table::new(vec!["line factor", "CRC miss rate"]);
+            for (factor, mr) in line_size_factor(scale) {
+                t.row(vec![format!("{factor}x64B"), fmt_f64(mr, 3)]);
+            }
+            format!("Ablation D: line-size factor\n{}\n", t.render())
+        }),
+        Box::new(move || {
+            format!(
+                "Ablation E: replacement schemes (incl. future-work LRU-Direct)\n{}\n",
+                ablation_table("scheme", replacement_schemes(scale))
+            )
+        }),
+        Box::new(move || {
+            format!(
+                "Ablation F: molecule size (2MB total)\n{}\n",
+                ablation_table("variant", molecule_size(scale))
+            )
+        }),
+        Box::new(move || {
+            format!(
+                "Ablation G: configured way size (row_max)\n{}",
+                ablation_table("variant", row_max(scale))
+            )
+        }),
+    ];
+    engine.run(sections, |section| section()).concat()
+}
+
+/// Machine-readable record of all ablations (serial).
 pub fn record(scale: ExperimentScale) -> ExperimentRecord {
-    let mut results = Vec::new();
-    for r in resize_triggers(scale) {
-        results.push(ConfigResult {
-            label: format!("trigger:{}", r.label),
-            metrics: vec![
-                Metric::new("avg_deviation", r.avg_deviation),
-                Metric::new("resize_rounds", r.resize_rounds as f64),
-            ],
-        });
+    record_with(scale, &Engine::serial())
+}
+
+/// Machine-readable record of all ablations, with the families fanned
+/// across the engine's workers.
+pub fn record_with(scale: ExperimentScale, engine: &Engine) -> ExperimentRecord {
+    fn deviation_results(prefix: &str, rows: Vec<AblationResult>) -> Vec<ConfigResult> {
+        rows.into_iter()
+            .map(|r| ConfigResult {
+                label: format!("{prefix}:{}", r.label),
+                metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
+            })
+            .collect()
     }
-    for r in initial_allocation(scale) {
-        results.push(ConfigResult {
-            label: format!("initial:{}", r.label),
-            metrics: vec![
-                Metric::new("avg_deviation", r.avg_deviation),
-                Metric::new("resize_rounds", r.resize_rounds as f64),
-            ],
-        });
+    fn resize_results(prefix: &str, rows: Vec<AblationResult>) -> Vec<ConfigResult> {
+        rows.into_iter()
+            .map(|r| ConfigResult {
+                label: format!("{prefix}:{}", r.label),
+                metrics: vec![
+                    Metric::new("avg_deviation", r.avg_deviation),
+                    Metric::new("resize_rounds", r.resize_rounds as f64),
+                ],
+            })
+            .collect()
     }
-    for r in growth_chunk(scale) {
-        results.push(ConfigResult {
-            label: format!("chunk:{}", r.label),
-            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
-        });
-    }
-    for (factor, mr) in line_size_factor(scale) {
-        results.push(ConfigResult {
-            label: format!("line_factor:{factor}"),
-            metrics: vec![Metric::new("crc_miss_rate", mr)],
-        });
-    }
-    for r in replacement_schemes(scale) {
-        results.push(ConfigResult {
-            label: format!("scheme:{}", r.label),
-            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
-        });
-    }
-    for r in molecule_size(scale) {
-        results.push(ConfigResult {
-            label: format!("molecule:{}", r.label),
-            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
-        });
-    }
-    for r in row_max(scale) {
-        results.push(ConfigResult {
-            label: format!("rows:{}", r.label),
-            metrics: vec![Metric::new("avg_deviation", r.avg_deviation)],
-        });
-    }
+
+    type Family = Box<dyn FnOnce() -> Vec<ConfigResult> + Send>;
+    let families: Vec<Family> = vec![
+        Box::new(move || resize_results("trigger", resize_triggers(scale))),
+        Box::new(move || resize_results("initial", initial_allocation(scale))),
+        Box::new(move || deviation_results("chunk", growth_chunk(scale))),
+        Box::new(move || {
+            line_size_factor(scale)
+                .into_iter()
+                .map(|(factor, mr)| ConfigResult {
+                    label: format!("line_factor:{factor}"),
+                    metrics: vec![Metric::new("crc_miss_rate", mr)],
+                })
+                .collect()
+        }),
+        Box::new(move || deviation_results("scheme", replacement_schemes(scale))),
+        Box::new(move || deviation_results("molecule", molecule_size(scale))),
+        Box::new(move || deviation_results("rows", row_max(scale))),
+    ];
+    let results = engine.run(families, |family| family()).concat();
     ExperimentRecord {
         id: "ablations".into(),
         workload: "SPEC4 on 2MB molecular / CRC streaming".into(),

@@ -8,7 +8,7 @@
 //! can never reach 10 %, is left unconstrained), which is what moves the
 //! molecular cache's effectiveness threshold from 4 MB down to 2 MB.
 
-use crate::harness::{asid_of, run_workload_warmed, ExperimentScale};
+use crate::harness::{asid_of, run_workload_warmed, Engine, ExperimentScale};
 use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
 use molcache_metrics::deviation::{average_deviation, MissRateGoal};
 use molcache_metrics::record::{ConfigResult, ExperimentRecord, Metric};
@@ -157,14 +157,21 @@ pub fn run_point(graph: Graph, size: u64, config: Config, scale: ExperimentScale
     }
 }
 
-/// Runs the full figure for one graph.
+/// Runs the full figure for one graph serially.
 pub fn run(graph: Graph, scale: ExperimentScale) -> Fig5 {
-    let mut points = Vec::new();
+    run_with(graph, scale, &Engine::serial())
+}
+
+/// Runs the full figure for one graph, fanning the 24 (size, config)
+/// points across the engine's workers.
+pub fn run_with(graph: Graph, scale: ExperimentScale, engine: &Engine) -> Fig5 {
+    let mut grid = Vec::new();
     for size in SIZES {
         for config in Config::ALL {
-            points.push(run_point(graph, size, config, scale));
+            grid.push((size, config));
         }
     }
+    let points = engine.run(grid, |(size, config)| run_point(graph, size, config, scale));
     Fig5 {
         graph,
         points,
@@ -189,10 +196,7 @@ impl Fig5 {
         for config in Config::ALL {
             let mut row = vec![config.label()];
             for size in SIZES {
-                row.push(fmt_f64(
-                    self.deviation(size, config).unwrap_or(f64::NAN),
-                    3,
-                ));
+                row.push(fmt_f64(self.deviation(size, config).unwrap_or(f64::NAN), 3));
             }
             t.row(row);
         }
@@ -210,7 +214,10 @@ impl Fig5 {
             .collect();
         let chart = molcache_metrics::chart::series_chart(
             "deviation vs size",
-            &SIZES.iter().map(|s| format!("{}MB", s >> 20)).collect::<Vec<_>>(),
+            &SIZES
+                .iter()
+                .map(|s| format!("{}MB", s >> 20))
+                .collect::<Vec<_>>(),
             &series,
             10,
         );

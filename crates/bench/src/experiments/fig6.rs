@@ -7,7 +7,7 @@
 //! its molecule usage ~5 % higher.
 
 use crate::experiments::table2::molecular_6mb;
-use crate::harness::{asid_of, run_workload_warmed, ExperimentScale};
+use crate::harness::{asid_of, run_workload_warmed, Engine, ExperimentScale};
 use molcache_core::RegionPolicy;
 use molcache_metrics::record::{ConfigResult, ExperimentRecord, Metric};
 use molcache_metrics::table::Table;
@@ -59,12 +59,22 @@ fn run_policy(policy: RegionPolicy, refs: u64) -> PolicyResult {
     }
 }
 
-/// Runs the figure.
+/// Runs the figure serially.
 pub fn run(scale: ExperimentScale) -> Fig6 {
+    run_with(scale, &Engine::serial())
+}
+
+/// Runs the figure, measuring the two policies concurrently.
+pub fn run_with(scale: ExperimentScale, engine: &Engine) -> Fig6 {
     let refs = scale.references();
+    let mut results = engine.run(vec![RegionPolicy::Random, RegionPolicy::Randy], |p| {
+        run_policy(p, refs)
+    });
+    let randy = results.pop().expect("randy result");
+    let random = results.pop().expect("random result");
     Fig6 {
-        random: run_policy(RegionPolicy::Random, refs),
-        randy: run_policy(RegionPolicy::Randy, refs),
+        random,
+        randy,
         references: refs,
     }
 }
@@ -150,7 +160,10 @@ mod tests {
     fn hpm_positive_for_active_apps() {
         let f = run(ExperimentScale::Custom(120_000));
         let active_random = f.random.hpm.iter().filter(|h| **h > 0.0).count();
-        assert!(active_random >= 10, "most apps should score: {active_random}");
+        assert!(
+            active_random >= 10,
+            "most apps should score: {active_random}"
+        );
         assert!(f.random.molecules_used > 0.0);
         assert!(f.randy.molecules_used > 0.0);
     }

@@ -5,12 +5,11 @@
 //! it shares the cache with. This experiment reproduces the table's
 //! rows: solo miss rate per benchmark, each pair, and the four-way run.
 
-use crate::harness::{run_workload_on, ExperimentScale};
+use crate::harness::{asid_of, run_workload_on, Engine, ExperimentScale};
 use molcache_metrics::record::{ConfigResult, ExperimentRecord, Metric};
 use molcache_metrics::table::{fmt_f64, Table};
 use molcache_sim::{CacheConfig, SetAssocCache};
 use molcache_trace::presets::Benchmark;
-use molcache_trace::Asid;
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,46 +33,33 @@ fn shared_l2() -> SetAssocCache {
     SetAssocCache::lru(CacheConfig::new(1 << 20, 4, 64).expect("1MB 4-way is valid"))
 }
 
-/// Runs the Table 1 experiment.
+/// Runs the Table 1 experiment serially.
 pub fn run(scale: ExperimentScale) -> Table1 {
+    run_with(scale, &Engine::serial())
+}
+
+/// Runs the Table 1 experiment, fanning the rows (each an independent
+/// cache + workload) across the engine's workers.
+pub fn run_with(scale: ExperimentScale, engine: &Engine) -> Table1 {
     let refs = scale.references();
     let singles = Benchmark::SPEC4;
-    let mut rows = Vec::new();
 
-    // Solo runs.
-    for b in singles {
-        let mut cache = shared_l2();
-        let summary = run_workload_on(&[b], &mut cache, refs, 42);
-        rows.push(Row {
-            apps: vec![b],
-            miss_rates: vec![summary.app_miss_rate(Asid::new(1))],
-        });
-    }
-
-    // Pairs (the paper's combinations).
+    // Row descriptors: solos, pairs (the paper's combinations), all four.
+    let mut groups: Vec<Vec<Benchmark>> = singles.iter().map(|b| vec![*b]).collect();
     for i in 0..singles.len() {
         for j in (i + 1)..singles.len() {
-            let pair = [singles[i], singles[j]];
-            let mut cache = shared_l2();
-            let summary = run_workload_on(&pair, &mut cache, refs, 42);
-            rows.push(Row {
-                apps: pair.to_vec(),
-                miss_rates: vec![
-                    summary.app_miss_rate(Asid::new(1)),
-                    summary.app_miss_rate(Asid::new(2)),
-                ],
-            });
+            groups.push(vec![singles[i], singles[j]]);
         }
     }
+    groups.push(singles.to_vec());
 
-    // All four.
-    let mut cache = shared_l2();
-    let summary = run_workload_on(&singles, &mut cache, refs, 42);
-    rows.push(Row {
-        apps: singles.to_vec(),
-        miss_rates: (0..4)
-            .map(|i| summary.app_miss_rate(Asid::new(i as u16 + 1)))
-            .collect(),
+    let rows = engine.run(groups, |apps| {
+        let mut cache = shared_l2();
+        let summary = run_workload_on(&apps, &mut cache, refs, 42);
+        let miss_rates = (0..apps.len())
+            .map(|i| summary.app_miss_rate(asid_of(i)))
+            .collect();
+        Row { apps, miss_rates }
     });
 
     Table1 {
@@ -91,12 +77,7 @@ impl Table1 {
                 return None;
             }
             let pos = row.apps.iter().position(|b| *b == bench)?;
-            let others: Vec<Benchmark> = row
-                .apps
-                .iter()
-                .copied()
-                .filter(|b| *b != bench)
-                .collect();
+            let others: Vec<Benchmark> = row.apps.iter().copied().filter(|b| *b != bench).collect();
             let matches = with.iter().all(|w| others.contains(w)) && others.len() == with.len();
             if matches {
                 Some(row.miss_rates[pos])

@@ -7,7 +7,7 @@
 //! cache with Randy replacement beats even the 8 MB 8-way, while Random
 //! replacement trails the 4 MB 4-way.
 
-use crate::harness::{asid_of, run_workload_warmed, ExperimentScale};
+use crate::harness::{asid_of, run_workload_warmed, Engine, ExperimentScale};
 use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
 use molcache_metrics::deviation::{average_deviation, MissRateGoal};
 use molcache_metrics::record::{ConfigResult, ExperimentRecord, Metric};
@@ -109,10 +109,7 @@ pub fn run_config(config: Config, scale: ExperimentScale) -> Row {
         }
     };
     let goals = MissRateGoal::uniform(GOAL);
-    let avg = average_deviation(
-        (0..12).map(|i| (asid_of(i), miss_rates[i])),
-        &goals,
-    );
+    let avg = average_deviation((0..12).map(|i| (asid_of(i), miss_rates[i])), &goals);
     Row {
         config,
         avg_deviation: avg,
@@ -120,13 +117,16 @@ pub fn run_config(config: Config, scale: ExperimentScale) -> Row {
     }
 }
 
-/// Runs the whole table.
+/// Runs the whole table serially.
 pub fn run(scale: ExperimentScale) -> Table2 {
+    run_with(scale, &Engine::serial())
+}
+
+/// Runs the whole table, fanning the six configurations across the
+/// engine's workers.
+pub fn run_with(scale: ExperimentScale, engine: &Engine) -> Table2 {
     Table2 {
-        rows: Config::ALL
-            .into_iter()
-            .map(|c| run_config(c, scale))
-            .collect(),
+        rows: engine.run(Config::ALL.to_vec(), |c| run_config(c, scale)),
         references: scale.references(),
     }
 }

@@ -8,7 +8,7 @@
 //! of a tile enabled) and its *average* power under the mixed workload
 //! (measured molecule-probe activity).
 
-use crate::harness::{asid_of, run_workload_warmed, ExperimentScale};
+use crate::harness::{asid_of, run_workload_warmed, Engine, ExperimentScale};
 use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
 use molcache_metrics::record::{ConfigResult, ExperimentRecord, Metric};
 use molcache_metrics::table::{fmt_f64, Table};
@@ -83,30 +83,34 @@ pub fn measure_activity(scale: ExperimentScale) -> Activity {
     cache.activity()
 }
 
-/// Runs the power comparison.
+/// Runs the power comparison serially.
 pub fn run(scale: ExperimentScale) -> Table4 {
+    run_with(scale, &Engine::serial())
+}
+
+/// Runs the power comparison. The workload activity measurement is one
+/// simulation and stays serial; the per-frequency CACTI rows are fanned
+/// across the engine's workers.
+pub fn run_with(scale: ExperimentScale, engine: &Engine) -> Table4 {
     let node = TechNode::nm70();
     let activity = measure_activity(scale);
     let meter = EnergyMeter::for_molecular(&molecule_report(&node), &node);
     let mol_avg_energy_nj = meter.energy_per_access_nj(&activity);
 
-    let rows = paper_table4()
-        .into_iter()
-        .map(|anchor| {
-            let report = analyze(&table3_traditional(anchor.assoc), &node);
-            let freq = report.frequency_mhz();
-            Row {
-                label: anchor.name.to_string(),
-                freq_mhz: freq,
-                traditional_w: report.power_at_mhz(freq),
-                mol_worst_w: molecular_worst_power_w(8 << 10, 512 << 10, &node, freq),
-                mol_avg_w: mol_avg_energy_nj * freq / 1000.0,
-                paper_freq_mhz: anchor.freq_mhz,
-                paper_power_w: anchor.power_w,
-                paper_mol_worst_w: anchor.mol_worst_w,
-            }
-        })
-        .collect();
+    let rows = engine.run(paper_table4().to_vec(), |anchor| {
+        let report = analyze(&table3_traditional(anchor.assoc), &node);
+        let freq = report.frequency_mhz();
+        Row {
+            label: anchor.name.to_string(),
+            freq_mhz: freq,
+            traditional_w: report.power_at_mhz(freq),
+            mol_worst_w: molecular_worst_power_w(8 << 10, 512 << 10, &node, freq),
+            mol_avg_w: mol_avg_energy_nj * freq / 1000.0,
+            paper_freq_mhz: anchor.freq_mhz,
+            paper_power_w: anchor.power_w,
+            paper_mol_worst_w: anchor.mol_worst_w,
+        }
+    });
     Table4 {
         rows,
         mol_avg_energy_nj,
@@ -133,7 +137,11 @@ impl Table4 {
         t3.row(vec!["Molecule Size".into(), "8KB".into(), "-".into()]);
         t3.row(vec!["Tile Size".into(), "512KB".into(), "-".into()]);
         t3.row(vec!["No. of tile-clusters".into(), "4".into(), "-".into()]);
-        t3.row(vec!["No. of tiles per cluster".into(), "4".into(), "-".into()]);
+        t3.row(vec![
+            "No. of tiles per cluster".into(),
+            "4".into(),
+            "-".into(),
+        ]);
         t3.row(vec![
             "No. of Read-Write ports".into(),
             "1 per tile cluster".into(),

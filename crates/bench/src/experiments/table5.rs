@@ -6,12 +6,10 @@
 //! 1.890 vs 0.909 (4-way) and 0.870 vs 0.425 (8-way).
 
 use crate::experiments::table2::{self, Config as T2Config};
-use crate::harness::ExperimentScale;
+use crate::harness::{Engine, ExperimentScale};
 use molcache_core::RegionPolicy;
 use molcache_metrics::deviation::{average_overshoot, MissRateGoal};
-use molcache_metrics::power_deviation::{
-    power_deviation_product, refined_power_deviation_product,
-};
+use molcache_metrics::power_deviation::{power_deviation_product, refined_power_deviation_product};
 use molcache_metrics::record::{ConfigResult, ExperimentRecord, Metric};
 use molcache_metrics::table::{fmt_f64, Table};
 use molcache_power::cacti::analyze;
@@ -48,6 +46,12 @@ pub struct Table5 {
 /// Runs Table 5 from a fresh Table 2 measurement.
 pub fn run(scale: ExperimentScale) -> Table5 {
     let t2 = table2::run(scale);
+    run_from_table2(&t2)
+}
+
+/// Like [`run`], but the underlying Table 2 measurement uses the engine.
+pub fn run_with(scale: ExperimentScale, engine: &Engine) -> Table5 {
+    let t2 = table2::run_with(scale, engine);
     run_from_table2(&t2)
 }
 
@@ -106,7 +110,9 @@ impl Table5 {
     /// Whether the molecular cache wins every row (the paper's claim:
     /// "consistently better").
     pub fn molecular_consistently_better(&self) -> bool {
-        self.rows.iter().all(|r| r.molecular_pdp < r.traditional_pdp)
+        self.rows
+            .iter()
+            .all(|r| r.molecular_pdp < r.traditional_pdp)
     }
 
     /// Renders the paper-style table.

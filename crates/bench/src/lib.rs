@@ -22,5 +22,8 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod stopwatch;
 
-pub use harness::{molecular_config, run_workload_on, run_workload_warmed, ExperimentScale};
+pub use harness::{
+    molecular_config, run_workload_on, run_workload_warmed, Engine, ExperimentScale,
+};

@@ -1,0 +1,72 @@
+//! Tiny wall-clock benchmark runner for the `benches/` targets.
+//!
+//! The workspace builds without crates.io access, so the bench targets
+//! time themselves with `std::time::Instant` instead of an external
+//! harness: warm up once, then repeat the body until a time budget is
+//! spent, and report mean wall-clock per iteration (and throughput when
+//! the caller states elements per iteration). No statistics beyond the
+//! mean — these benches exist to catch order-of-magnitude regressions
+//! and to exercise the full experiment pipelines, not to resolve 1%
+//! deltas.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` repeatedly for at least `budget` (at least one timed
+/// iteration) and prints the mean time per iteration.
+pub fn bench<F: FnMut()>(name: &str, budget: Duration, mut f: F) {
+    f(); // Warm-up iteration, excluded from timing.
+    let start = Instant::now();
+    let mut iters: u32 = 0;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let per = start.elapsed() / iters;
+    println!("{name:<44} {iters:>7} iters   {per:>12.2?}/iter");
+}
+
+/// Like [`bench`], but also reports throughput for a body that processes
+/// `elements` items per iteration.
+pub fn bench_throughput<F: FnMut()>(name: &str, elements: u64, budget: Duration, mut f: F) {
+    f();
+    let start = Instant::now();
+    let mut iters: u32 = 0;
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    let per = elapsed / iters;
+    let rate = (elements as f64 * f64::from(iters)) / elapsed.as_secs_f64() / 1e6;
+    println!("{name:<44} {iters:>7} iters   {per:>12.2?}/iter   {rate:>8.2} Melem/s");
+}
+
+/// Prints a section header so multi-group bench binaries stay readable.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_body_and_returns() {
+        let mut n = 0u32;
+        bench("noop", Duration::from_millis(1), || n += 1);
+        assert!(n >= 2, "warm-up plus at least one timed iteration");
+    }
+
+    #[test]
+    fn throughput_handles_fast_bodies() {
+        bench_throughput("noop", 100, Duration::from_millis(1), || {
+            std::hint::black_box(0u64);
+        });
+    }
+}

@@ -4,13 +4,13 @@ use crate::config::{InitialAllocation, MolecularConfig, VictimRng};
 use crate::ids::{ClusterId, MoleculeId, TileId};
 use crate::molecule::Molecule;
 use crate::region::Region;
+use crate::region_table::RegionTable;
 use crate::resize::{algorithm1, Decision, ResizeController, ResizeEvent};
 use crate::stats::RegionSnapshot;
 use crate::tile::{Tile, TileCluster};
-use molcache_sim::{AccessOutcome, Activity, CacheModel, CacheStats, Request};
+use molcache_sim::{AccessOutcome, Activity, BatchOutcome, CacheModel, CacheStats, Request};
 use molcache_trace::rng::Rng;
 use molcache_trace::{Asid, LineAddr};
-use std::collections::BTreeMap;
 
 /// The molecular cache (Figure 1/2 of the paper).
 ///
@@ -53,7 +53,7 @@ pub struct MolecularCache {
     molecules: Vec<Molecule>,
     tiles: Vec<Tile>,
     clusters: Vec<TileCluster>,
-    regions: BTreeMap<Asid, Region>,
+    regions: RegionTable,
     resizer: ResizeController,
     rng: Rng,
     lfsr: Lfsr16,
@@ -102,7 +102,7 @@ impl MolecularCache {
             molecules,
             tiles,
             clusters,
-            regions: BTreeMap::new(),
+            regions: RegionTable::new(),
             resizer,
             rng,
             lfsr,
@@ -235,7 +235,10 @@ impl MolecularCache {
             return false;
         }
         let tid = self.tiles[tile_index].id();
-        if !self.clusters[region.cluster().index()].tiles().contains(&tid) {
+        if !self.clusters[region.cluster().index()]
+            .tiles()
+            .contains(&tid)
+        {
             return false;
         }
         region.set_home_tile(tid);
@@ -298,10 +301,8 @@ impl MolecularCache {
     fn grant_molecules(&mut self, region: &mut Region, want: usize) -> usize {
         let mut granted = 0;
         let home = region.home_tile();
-        let cluster_tiles: Vec<TileId> =
-            self.clusters[region.cluster().index()].tiles().to_vec();
-        let order = std::iter::once(home)
-            .chain(cluster_tiles.into_iter().filter(|t| *t != home));
+        let cluster_tiles: Vec<TileId> = self.clusters[region.cluster().index()].tiles().to_vec();
+        let order = std::iter::once(home).chain(cluster_tiles.into_iter().filter(|t| *t != home));
         for tid in order {
             while granted < want {
                 let Some(id) = self.tiles[tid.index()].take_free() else {
@@ -391,8 +392,7 @@ impl MolecularCache {
     ) -> bool {
         let k = self.regions[&region_asid].line_factor() as u64;
         let block_start = LineAddr(line.0 - line.0 % k);
-        let member_ids: Vec<MoleculeId> =
-            self.regions[&region_asid].molecules().collect();
+        let member_ids: Vec<MoleculeId> = self.regions[&region_asid].molecules().collect();
         let mut writeback = false;
         for j in 0..k {
             let l = LineAddr(block_start.0 + j);
@@ -456,9 +456,9 @@ impl MolecularCache {
             Decision::Shrink(n) => {
                 let mut region = self.regions.remove(&asid).expect("present");
                 for _ in 0..n {
-                    let Some(id) = region.remove_coldest(|m| {
-                        self.molecules[m.index()].miss_count()
-                    }) else {
+                    let Some(id) =
+                        region.remove_coldest(|m| self.molecules[m.index()].miss_count())
+                    else {
                         break;
                     };
                     let flushed = self.molecules[id.index()].configure(Asid::NONE);
@@ -475,10 +475,7 @@ impl MolecularCache {
         for id in member_ids {
             self.molecules[id.index()].reset_window_counters();
         }
-        self.regions
-            .get_mut(&asid)
-            .expect("present")
-            .close_window();
+        self.regions.get_mut(&asid).expect("present").close_window();
         window
     }
 
@@ -530,6 +527,36 @@ impl CacheModel for MolecularCache {
             ResizeEvent::Partition(asid) => self.resize_one(asid),
         }
         outcome
+    }
+
+    /// Batched entry point: one ASID-gate dispatch (region-presence check
+    /// and on-demand creation) per run of same-ASID requests instead of
+    /// one per request.
+    ///
+    /// Bit-identical to the per-request loop: `ensure_region` is
+    /// idempotent, so hoisting it across a same-ASID run changes nothing,
+    /// and the per-access resize trigger still fires between every two
+    /// requests exactly as in [`access`](CacheModel::access). Region
+    /// creation order therefore interleaves with resize events precisely
+    /// as the serial loop would have it.
+    fn access_batch(&mut self, reqs: &[Request]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        let mut i = 0;
+        while i < reqs.len() {
+            let asid = reqs[i].asid;
+            self.ensure_region(asid);
+            while i < reqs.len() && reqs[i].asid == asid {
+                self.activity.accesses += 1;
+                out.note(self.service(reqs[i]));
+                match self.resizer.on_access(asid) {
+                    ResizeEvent::None => {}
+                    ResizeEvent::AllPartitions => self.resize_all(),
+                    ResizeEvent::Partition(a) => self.resize_one(a),
+                }
+                i += 1;
+            }
+        }
+        out
     }
 
     fn stats(&self) -> &CacheStats {
@@ -600,7 +627,10 @@ impl MolecularCache {
 
         // Miss. Choose a victim molecule and fill the block.
         latency += self.cfg.miss_penalty;
-        self.regions.get_mut(&asid).expect("region").record_access(true);
+        self.regions
+            .get_mut(&asid)
+            .expect("region")
+            .record_access(true);
         let victim = {
             let draw = match self.cfg.victim_rng() {
                 VictimRng::Lfsr16 => self.lfsr.next_u16() as u64,
@@ -967,7 +997,9 @@ mod tests {
             .tile_molecules(8)
             .tiles_per_cluster(2)
             .clusters(1)
-            .trigger(ResizeTrigger::PerAppAdaptive { initial_period: 100 })
+            .trigger(ResizeTrigger::PerAppAdaptive {
+                initial_period: 100,
+            })
             .build()
             .unwrap();
         let mut c = MolecularCache::new(cfg);
@@ -1167,6 +1199,51 @@ mod tests {
         // Out-of-cluster / unknown targets are rejected.
         assert!(!c.rehome_app(Asid::new(1), 99));
         assert!(!c.rehome_app(Asid::new(42), 0));
+    }
+
+    #[test]
+    fn access_batch_is_bit_identical_to_access_loop() {
+        // Frequent resizes plus interleaved ASIDs: the batched path must
+        // reproduce the serial path exactly, including resize timing.
+        let cfg = MolecularConfig::builder()
+            .molecule_size(1024)
+            .tile_molecules(8)
+            .tiles_per_cluster(2)
+            .clusters(1)
+            .initial_allocation(InitialAllocation::Molecules(2))
+            .trigger(ResizeTrigger::Constant { period: 64 })
+            .build()
+            .unwrap();
+        let reqs: Vec<Request> = (0..3_000u64)
+            .map(|i| {
+                let asid = 1 + (i % 3) as u16;
+                read(asid, ((asid as u64) << 36) + (i % 200) * 64)
+            })
+            .collect();
+        let mut serial = MolecularCache::new(cfg.clone());
+        let mut expected = molcache_sim::BatchOutcome::default();
+        for req in &reqs {
+            expected.note(serial.access(*req));
+        }
+        let mut batched = MolecularCache::new(cfg);
+        let mut got = molcache_sim::BatchOutcome::default();
+        // Uneven chunk sizes exercise run boundaries at both edges.
+        for chunk in reqs.chunks(777) {
+            got.merge(&batched.access_batch(chunk));
+        }
+        assert_eq!(got, expected);
+        assert_eq!(serial.stats(), batched.stats());
+        assert_eq!(serial.activity(), batched.activity());
+        assert_eq!(serial.snapshots(), batched.snapshots());
+        assert_eq!(serial.resize_rounds(), batched.resize_rounds());
+    }
+
+    #[test]
+    fn molecular_cache_is_send() {
+        // The parallel experiment engine moves caches across worker
+        // threads; a non-Send field would break that at compile time.
+        fn assert_send<T: Send>() {}
+        assert_send::<MolecularCache>();
     }
 
     #[test]

@@ -329,13 +329,7 @@ impl MolecularConfigBuilder {
     /// Sets the timing parameters (cycles): molecule hit latency, the
     /// extra ASID-compare stage, the Ulmo remote-search penalty and the
     /// memory miss penalty.
-    pub fn latencies(
-        &mut self,
-        hit: u32,
-        asid_stage: u32,
-        ulmo: u32,
-        miss: u32,
-    ) -> &mut Self {
+    pub fn latencies(&mut self, hit: u32, asid_stage: u32, ulmo: u32, miss: u32) -> &mut Self {
         self.hit_latency = hit;
         self.asid_stage_cycles = asid_stage;
         self.ulmo_penalty = ulmo;
@@ -419,7 +413,10 @@ impl MolecularConfigBuilder {
                 return Err(err("app_cluster", "cluster index out of range"));
             }
         }
-        let max_allocation = self.max_allocation.unwrap_or(self.tile_molecules / 4).max(1);
+        let max_allocation = self
+            .max_allocation
+            .unwrap_or(self.tile_molecules / 4)
+            .max(1);
         Ok(MolecularConfig {
             molecule_size: self.molecule_size,
             line_size: self.line_size,
@@ -483,21 +480,33 @@ mod tests {
 
     #[test]
     fn rejects_bad_geometry() {
-        assert!(MolecularConfig::builder().molecule_size(3000).build().is_err());
+        assert!(MolecularConfig::builder()
+            .molecule_size(3000)
+            .build()
+            .is_err());
         assert!(MolecularConfig::builder().line_size(0).build().is_err());
         assert!(MolecularConfig::builder()
             .molecule_size(32)
             .line_size(64)
             .build()
             .is_err());
-        assert!(MolecularConfig::builder().tile_molecules(0).build().is_err());
+        assert!(MolecularConfig::builder()
+            .tile_molecules(0)
+            .build()
+            .is_err());
         assert!(MolecularConfig::builder().clusters(0).build().is_err());
     }
 
     #[test]
     fn rejects_bad_goals_and_factors() {
-        assert!(MolecularConfig::builder().miss_rate_goal(0.0).build().is_err());
-        assert!(MolecularConfig::builder().miss_rate_goal(1.5).build().is_err());
+        assert!(MolecularConfig::builder()
+            .miss_rate_goal(0.0)
+            .build()
+            .is_err());
+        assert!(MolecularConfig::builder()
+            .miss_rate_goal(1.5)
+            .build()
+            .is_err());
         assert!(MolecularConfig::builder()
             .app_goal(Asid::new(1), -0.1)
             .build()
@@ -541,9 +550,15 @@ mod tests {
 
     #[test]
     fn max_allocation_defaults_to_quarter_tile() {
-        let cfg = MolecularConfig::builder().tile_molecules(64).build().unwrap();
+        let cfg = MolecularConfig::builder()
+            .tile_molecules(64)
+            .build()
+            .unwrap();
         assert_eq!(cfg.max_allocation(), 16);
-        let cfg2 = MolecularConfig::builder().max_allocation(5).build().unwrap();
+        let cfg2 = MolecularConfig::builder()
+            .max_allocation(5)
+            .build()
+            .unwrap();
         assert_eq!(cfg2.max_allocation(), 5);
     }
 

@@ -60,6 +60,7 @@ pub mod error;
 pub mod ids;
 pub mod molecule;
 pub mod region;
+pub mod region_table;
 pub mod resize;
 pub mod stats;
 pub mod tile;

@@ -226,9 +226,10 @@ impl Molecule {
     /// checking): frame `i` holding tag `t` stores line `t * frames + i`.
     pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         let n = self.frames.len() as u64;
-        self.frames.iter().enumerate().filter_map(move |(i, f)| {
-            f.valid.then_some(LineAddr(f.tag * n + i as u64))
-        })
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, f)| f.valid.then_some(LineAddr(f.tag * n + i as u64)))
     }
 }
 

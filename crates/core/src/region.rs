@@ -181,10 +181,8 @@ impl Region {
                     // balanced until the workload differentiates them.
                     let hottest = (0..self.rows.len())
                         .max_by(|&i, &j| {
-                            let di = self.row_misses[i] as f64
-                                / (self.rows[i].len() + 1) as f64;
-                            let dj = self.row_misses[j] as f64
-                                / (self.rows[j].len() + 1) as f64;
+                            let di = self.row_misses[i] as f64 / (self.rows[i].len() + 1) as f64;
+                            let dj = self.row_misses[j] as f64 / (self.rows[j].len() + 1) as f64;
                             di.partial_cmp(&dj)
                                 .expect("densities are finite")
                                 .then_with(|| self.rows[j].len().cmp(&self.rows[i].len()))
@@ -416,15 +414,7 @@ mod tests {
     use molcache_trace::rng::Rng;
 
     fn region(policy: RegionPolicy) -> Region {
-        Region::new(
-            Asid::new(1),
-            TileId(0),
-            ClusterId(0),
-            policy,
-            1,
-            0.1,
-            4,
-        )
+        Region::new(Asid::new(1), TileId(0), ClusterId(0), policy, 1, 0.1, 4)
     }
 
     #[test]

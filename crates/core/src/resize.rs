@@ -419,9 +419,7 @@ mod tests {
 
     #[test]
     fn per_app_timers_are_independent() {
-        let mut c = ResizeController::new(ResizeTrigger::PerAppAdaptive {
-            initial_period: 2,
-        });
+        let mut c = ResizeController::new(ResizeTrigger::PerAppAdaptive { initial_period: 2 });
         let a = Asid::new(1);
         let b = Asid::new(2);
         assert_eq!(c.on_access(a), ResizeEvent::None);
@@ -435,9 +433,7 @@ mod tests {
 
     #[test]
     fn per_app_adaptation_requires_registration() {
-        let mut c = ResizeController::new(ResizeTrigger::PerAppAdaptive {
-            initial_period: 10,
-        });
+        let mut c = ResizeController::new(ResizeTrigger::PerAppAdaptive { initial_period: 10 });
         // Adapting an unknown app is a no-op, not a panic.
         c.adapt_app(Asid::new(9), 0.5, 0.1);
         assert_eq!(c.app_period(Asid::new(9)), None);

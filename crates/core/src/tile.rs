@@ -114,11 +114,7 @@ mod tests {
     use super::*;
 
     fn tile() -> Tile {
-        Tile::new(
-            TileId(0),
-            ClusterId(0),
-            (0..4).map(MoleculeId).collect(),
-        )
+        Tile::new(TileId(0), ClusterId(0), (0..4).map(MoleculeId).collect())
     }
 
     #[test]

@@ -118,10 +118,7 @@ mod tests {
         let s = series_chart(
             "fig",
             &["1MB".into(), "2MB".into()],
-            &[
-                ("A".into(), vec![1.0, 0.5]),
-                ("B".into(), vec![0.2, 0.1]),
-            ],
+            &[("A".into(), vec![1.0, 0.5]), ("B".into(), vec![0.2, 0.1])],
             6,
         );
         assert!(s.contains('*'), "{s}");
@@ -132,12 +129,7 @@ mod tests {
 
     #[test]
     fn series_chart_handles_flat_data() {
-        let s = series_chart(
-            "flat",
-            &["x".into()],
-            &[("A".into(), vec![0.5])],
-            4,
-        );
+        let s = series_chart("flat", &["x".into()], &[("A".into(), vec![0.5])], 4);
         assert!(s.contains('*'));
     }
 

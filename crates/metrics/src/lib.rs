@@ -12,12 +12,13 @@
 //!
 //! Plus [`table`] — fixed-width ASCII tables and CSV emitters so the
 //! benchmark harness prints output shaped like the paper's tables — and
-//! [`record`] — serde-serializable experiment records written next to
-//! the human-readable output.
+//! [`record`] — JSON-serializable experiment records (via the built-in
+//! [`json`] module) written next to the human-readable output.
 
 pub mod chart;
 pub mod deviation;
 pub mod hpm;
+pub mod json;
 pub mod power_deviation;
 pub mod record;
 pub mod table;

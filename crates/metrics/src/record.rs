@@ -1,13 +1,15 @@
-//! Machine-readable experiment records (serde).
+//! Machine-readable experiment records.
 //!
 //! Every experiment in the benchmark harness emits one of these next to
 //! its human-readable table, so EXPERIMENTS.md numbers can be regenerated
-//! and diffed mechanically.
+//! and diffed mechanically. Serialization is hand-rolled on top of
+//! [`crate::json`] (the workspace builds without crates.io access); the
+//! emitted shape matches the seed's serde_json output byte for byte.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{self, escape_into, format_f64, JsonError, Value};
 
 /// One measured configuration within an experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ConfigResult {
     /// Configuration label, e.g. `"8MB 4way"` or `"Molecular (Randy)"`.
     pub label: String,
@@ -16,7 +18,7 @@ pub struct ConfigResult {
 }
 
 /// A named scalar measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metric {
     /// Metric name (`"avg_deviation"`, `"power_w"`, …).
     pub name: String,
@@ -36,7 +38,7 @@ impl Metric {
 
 /// A full experiment record: which table/figure it reproduces, the
 /// workload, and all configuration results.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Paper artifact id, e.g. `"table2"`, `"fig5a"`.
     pub id: String,
@@ -49,23 +51,89 @@ pub struct ExperimentRecord {
 }
 
 impl ExperimentRecord {
-    /// Serializes to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics for this type (no non-string keys, no NaN by
-    /// convention); the `expect` guards programmer error.
+    /// Serializes to pretty JSON (2-space indent, stable field order).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("record serializes")
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"id\": ");
+        escape_into(&mut out, &self.id);
+        out.push_str(",\n  \"workload\": ");
+        escape_into(&mut out, &self.workload);
+        out.push_str(",\n  \"references\": ");
+        out.push_str(&self.references.to_string());
+        out.push_str(",\n  \"results\": ");
+        if self.results.is_empty() {
+            out.push_str("[]");
+        } else {
+            out.push_str("[\n");
+            for (i, r) in self.results.iter().enumerate() {
+                out.push_str("    {\n      \"label\": ");
+                escape_into(&mut out, &r.label);
+                out.push_str(",\n      \"metrics\": ");
+                if r.metrics.is_empty() {
+                    out.push_str("[]");
+                } else {
+                    out.push_str("[\n");
+                    for (j, m) in r.metrics.iter().enumerate() {
+                        out.push_str("        {\n          \"name\": ");
+                        escape_into(&mut out, &m.name);
+                        out.push_str(",\n          \"value\": ");
+                        out.push_str(&format_f64(m.value));
+                        out.push_str("\n        }");
+                        if j + 1 < r.metrics.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    out.push_str("      ]");
+                }
+                out.push_str("\n    }");
+                if i + 1 < self.results.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}");
+        out
     }
 
     /// Parses a record back from JSON.
     ///
     /// # Errors
     ///
-    /// Returns the underlying `serde_json` error on malformed input.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a [`JsonError`] on malformed input or a missing/mistyped
+    /// field.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let root = json::parse(text)?;
+        let results = field(&root, "results")?
+            .as_array()
+            .ok_or_else(|| type_err("results", "array"))?
+            .iter()
+            .map(|r| {
+                let metrics = field(r, "metrics")?
+                    .as_array()
+                    .ok_or_else(|| type_err("metrics", "array"))?
+                    .iter()
+                    .map(|m| {
+                        Ok(Metric {
+                            name: string_field(m, "name")?,
+                            value: number_field(m, "value")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?;
+                Ok(ConfigResult {
+                    label: string_field(r, "label")?,
+                    metrics,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(ExperimentRecord {
+            id: string_field(&root, "id")?,
+            workload: string_field(&root, "workload")?,
+            references: number_field(&root, "references")? as u64,
+            results,
+        })
     }
 
     /// Finds a metric by configuration label and metric name.
@@ -78,6 +146,28 @@ impl ExperimentRecord {
             .find(|m| m.name == name)
             .map(|m| m.value)
     }
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, JsonError> {
+    v.get(name)
+        .ok_or_else(|| JsonError::new(format!("missing field `{name}`"), 0))
+}
+
+fn type_err(name: &str, wanted: &str) -> JsonError {
+    JsonError::new(format!("field `{name}` is not a {wanted}"), 0)
+}
+
+fn string_field(v: &Value, name: &str) -> Result<String, JsonError> {
+    field(v, name)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| type_err(name, "string"))
+}
+
+fn number_field(v: &Value, name: &str) -> Result<f64, JsonError> {
+    field(v, name)?
+        .as_f64()
+        .ok_or_else(|| type_err(name, "number"))
 }
 
 #[cfg(test)]
@@ -104,9 +194,32 @@ mod tests {
     }
 
     #[test]
+    fn json_matches_serde_pretty_layout() {
+        // The exact bytes serde_json::to_string_pretty produced for the
+        // seed's results/*.json files — layout must stay diff-stable.
+        let expected = "{\n  \"id\": \"table2\",\n  \"workload\": \"12-benchmark mixed\",\n  \"references\": 1000000,\n  \"results\": [\n    {\n      \"label\": \"6MB Molecular Randy\",\n      \"metrics\": [\n        {\n          \"name\": \"avg_deviation\",\n          \"value\": 0.222\n        }\n      ]\n    }\n  ]\n}";
+        assert_eq!(record().to_json(), expected);
+    }
+
+    #[test]
+    fn empty_results_serialize_compactly() {
+        let r = ExperimentRecord {
+            id: "x".into(),
+            workload: "w".into(),
+            references: 0,
+            results: vec![],
+        };
+        let parsed = ExperimentRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
     fn metric_lookup() {
         let r = record();
-        assert_eq!(r.metric("6MB Molecular Randy", "avg_deviation"), Some(0.222));
+        assert_eq!(
+            r.metric("6MB Molecular Randy", "avg_deviation"),
+            Some(0.222)
+        );
         assert_eq!(r.metric("6MB Molecular Randy", "nope"), None);
         assert_eq!(r.metric("nope", "avg_deviation"), None);
     }
@@ -114,5 +227,7 @@ mod tests {
     #[test]
     fn malformed_json_errors() {
         assert!(ExperimentRecord::from_json("{not json").is_err());
+        assert!(ExperimentRecord::from_json("{\"id\": \"x\"}").is_err());
+        assert!(ExperimentRecord::from_json("[]").is_err());
     }
 }

@@ -131,9 +131,7 @@ impl Table {
         );
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","),
-            );
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out

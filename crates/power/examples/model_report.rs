@@ -41,10 +41,7 @@ fn main() {
     println!("org {} mode {:?}", m.organization, m.mode);
     println!("energy breakdown (pJ): {:#?}", m.energy);
     println!("cycle {:.3} ns  E {:.4} nJ", m.cycle_time_ns, m.energy_nj());
-    println!(
-        "tile (64 molecules) E {:.2} nJ",
-        64.0 * m.energy_nj()
-    );
+    println!("tile (64 molecules) E {:.2} nJ", 64.0 * m.energy_nj());
 
     let f4 = analyze(&table3_traditional(4), &node).frequency_mhz();
     let p4 = analyze(&table3_traditional(4), &node).power_at_mhz(f4);

@@ -99,11 +99,7 @@ pub fn molecule_report(node: &TechNode) -> ArrayReport {
 
 /// Worst-case molecular energy per access (nJ): all molecules of one tile
 /// enabled — the paper's §4 approximation.
-pub fn molecular_tile_energy_nj(
-    molecule_size: u64,
-    tile_size: u64,
-    node: &TechNode,
-) -> f64 {
+pub fn molecular_tile_energy_nj(molecule_size: u64, tile_size: u64, node: &TechNode) -> f64 {
     assert!(
         tile_size >= molecule_size && tile_size.is_multiple_of(molecule_size),
         "tile must hold a whole number of molecules"
@@ -121,8 +117,7 @@ pub fn molecular_tile_energy_nj(
     let tile_route_pj = node.e_route
         * tile_bits.powf(crate::energy::ROUTE_SPAN_EXP)
         * (crate::energy::ROUTE_CTRL_BITS + line_bits);
-    molecules_per_tile * (mol.energy_nj() + node.e_asid_compare / 1000.0)
-        + tile_route_pj / 1000.0
+    molecules_per_tile * (mol.energy_nj() + node.e_asid_compare / 1000.0) + tile_route_pj / 1000.0
 }
 
 /// Worst-case molecular power (W) at a comparison frequency — the number
@@ -238,8 +233,7 @@ mod tests {
                 row.anchor.freq_mhz
             );
             if row.anchor.assoc < 8 {
-                let pe =
-                    (row.model_power_w - row.anchor.power_w).abs() / row.anchor.power_w;
+                let pe = (row.model_power_w - row.anchor.power_w).abs() / row.anchor.power_w;
                 assert!(
                     pe < 0.15,
                     "{}: model {:.2} W vs paper {:.2} W",
@@ -251,8 +245,8 @@ mod tests {
         }
         let p8 = rows.iter().find(|r| r.anchor.assoc == 8).unwrap();
         assert!(
-            rows.iter().all(|r| r.anchor.assoc == 8
-                || p8.model_power_w < r.model_power_w),
+            rows.iter()
+                .all(|r| r.anchor.assoc == 8 || p8.model_power_w < r.model_power_w),
             "8-way must draw the least power (Table 4 shape)"
         );
     }
@@ -263,8 +257,8 @@ mod tests {
         // comparison frequencies.
         let node = TechNode::nm70();
         for row in model_table4(&node) {
-            let err = (row.model_mol_worst_w - row.anchor.mol_worst_w).abs()
-                / row.anchor.mol_worst_w;
+            let err =
+                (row.model_mol_worst_w - row.anchor.mol_worst_w).abs() / row.anchor.mol_worst_w;
             assert!(
                 err < 0.20,
                 "{}: model mol worst {:.2} W vs paper {:.2} W",
@@ -282,7 +276,10 @@ mod tests {
         let full = molecular_tile_energy_nj(8 << 10, 512 << 10, &node);
         // Molecule probes double; the tile-span routing term grows
         // sublinearly, so the ratio sits just under 2.
-        assert!(full > 1.8 * half && full < 2.0 * half, "half {half} full {full}");
+        assert!(
+            full > 1.8 * half && full < 2.0 * half,
+            "half {half} full {full}"
+        );
     }
 
     #[test]

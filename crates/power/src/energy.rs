@@ -106,24 +106,18 @@ pub fn access_energy(
         active_subarrays,
     } = data;
 
-    let decode_pj =
-        node.e_decode * (rows.max(2) as f64).log2() * active_subarrays as f64 * pe;
+    let decode_pj = node.e_decode * (rows.max(2) as f64).log2() * active_subarrays as f64 * pe;
     // Bitline energy: the stripe's activated columns, each with bitline
     // capacitance proportional to the subarray row count. Sequential mode
     // only discharges the selected way's share.
-    let data_bitline_pj = node.e_bitline
-        * rows as f64
-        * cols as f64
-        * active_subarrays as f64
-        * data_fraction
-        * pe;
+    let data_bitline_pj =
+        node.e_bitline * rows as f64 * cols as f64 * active_subarrays as f64 * data_fraction * pe;
     // Wordline + sense energy of the logical columns read out.
     let data_column_pj = node.e_column * line_bits * data_ways_read * pe;
 
     // Tag array: same row count; tag columns are tag_width * assoc * nspd.
     let tag_cols = (tagw * cfg.assoc() as u64 * org.nspd as u64) as f64;
-    let tag_array_pj =
-        (node.e_bitline * rows as f64 * tag_cols + node.e_column * tag_cols) * pe;
+    let tag_array_pj = (node.e_bitline * rows as f64 * tag_cols + node.e_column * tag_cols) * pe;
     let compare_pj = node.e_compare * tagw as f64 * assoc;
 
     let output_pj = node.e_output * line_bits;
@@ -158,9 +152,14 @@ mod tests {
     fn bigger_cache_costs_more() {
         let small = CacheConfig::new(8 << 10, 1, 64).unwrap();
         let big = CacheConfig::new(8 << 20, 1, 64).unwrap();
-        let e_small = access_energy(&small, Organization::MONOLITHIC, &node(), AccessMode::Parallel)
-            .unwrap()
-            .total_pj();
+        let e_small = access_energy(
+            &small,
+            Organization::MONOLITHIC,
+            &node(),
+            AccessMode::Parallel,
+        )
+        .unwrap()
+        .total_pj();
         // Pick the best (min-energy) feasible org for the big cache.
         let e_big = crate::geometry::search_space()
             .filter_map(|o| access_energy(&big, o, &node(), AccessMode::Parallel))
@@ -200,8 +199,18 @@ mod tests {
     fn ports_scale_energy() {
         let cfg1 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(1);
         let cfg4 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(4);
-        let e1 = access_energy(&cfg1, Organization::MONOLITHIC, &node(), AccessMode::Parallel);
-        let e4 = access_energy(&cfg4, Organization::MONOLITHIC, &node(), AccessMode::Parallel);
+        let e1 = access_energy(
+            &cfg1,
+            Organization::MONOLITHIC,
+            &node(),
+            AccessMode::Parallel,
+        );
+        let e4 = access_energy(
+            &cfg4,
+            Organization::MONOLITHIC,
+            &node(),
+            AccessMode::Parallel,
+        );
         // Monolithic may be infeasible for 1MB (4096 rows ok, 2048 cols ok).
         let (e1, e4) = (e1.unwrap(), e4.unwrap());
         assert!(e4.data_bitline_pj > e1.data_bitline_pj * 2.0);
@@ -210,8 +219,13 @@ mod tests {
     #[test]
     fn breakdown_total_sums_components() {
         let cfg = CacheConfig::new(64 << 10, 2, 64).unwrap();
-        let e = access_energy(&cfg, Organization::MONOLITHIC, &node(), AccessMode::Parallel)
-            .unwrap();
+        let e = access_energy(
+            &cfg,
+            Organization::MONOLITHIC,
+            &node(),
+            AccessMode::Parallel,
+        )
+        .unwrap();
         let sum = e.decode_pj
             + e.data_bitline_pj
             + e.data_column_pj

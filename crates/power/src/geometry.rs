@@ -28,7 +28,11 @@ impl Organization {
 
 impl std::fmt::Display for Organization {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Ndwl={} Ndbl={} Nspd={}", self.ndwl, self.ndbl, self.nspd)
+        write!(
+            f,
+            "Ndwl={} Ndbl={} Nspd={}",
+            self.ndwl, self.ndbl, self.nspd
+        )
     }
 }
 
@@ -89,15 +93,11 @@ fn dims(sets: u64, bits_per_set: u64, org: Organization) -> Option<SubarrayDims>
 pub fn search_space() -> impl Iterator<Item = Organization> {
     const POW2: [u32; 6] = [1, 2, 4, 8, 16, 32];
     POW2.into_iter().flat_map(|ndbl| {
-        [1u32, 2, 4, 8, 16, 32]
-            .into_iter()
-            .flat_map(move |ndwl| {
-                [1u32, 2, 4].into_iter().map(move |nspd| Organization {
-                    ndwl,
-                    ndbl,
-                    nspd,
-                })
-            })
+        [1u32, 2, 4, 8, 16, 32].into_iter().flat_map(move |ndwl| {
+            [1u32, 2, 4]
+                .into_iter()
+                .map(move |nspd| Organization { ndwl, ndbl, nspd })
+        })
     })
 }
 
@@ -135,11 +135,7 @@ mod tests {
         for org in search_space() {
             if let Some(d) = data_dims(&c, org) {
                 let total = d.rows * d.cols * org.ndwl as u64 * org.ndbl as u64;
-                assert_eq!(
-                    total,
-                    c.size_bytes() * 8,
-                    "org {org} loses bits"
-                );
+                assert_eq!(total, c.size_bytes() * 8, "org {org} loses bits");
             }
         }
     }
@@ -147,7 +143,7 @@ mod tests {
     #[test]
     fn invalid_orgs_rejected() {
         let c = cfg(8 * 1024, 1); // 128 sets
-        // ndbl*nspd = 256 > sets.
+                                  // ndbl*nspd = 256 > sets.
         let org = Organization {
             ndwl: 1,
             ndbl: 128,
@@ -184,9 +180,6 @@ mod tests {
 
     #[test]
     fn display_org() {
-        assert_eq!(
-            Organization::MONOLITHIC.to_string(),
-            "Ndwl=1 Ndbl=1 Nspd=1"
-        );
+        assert_eq!(Organization::MONOLITHIC.to_string(), "Ndwl=1 Ndbl=1 Nspd=1");
     }
 }

@@ -40,11 +40,7 @@ pub fn leakage_w(size_bytes: u64, node: &TechNode) -> f64 {
 /// Leakage of a molecular cache: the sum over all molecules, which is by
 /// construction identical to a monolithic array of the same capacity —
 /// the paper's "unaffected" claim.
-pub fn molecular_leakage_w(
-    molecule_size: u64,
-    total_molecules: usize,
-    node: &TechNode,
-) -> f64 {
+pub fn molecular_leakage_w(molecule_size: u64, total_molecules: usize, node: &TechNode) -> f64 {
     leakage_w(molecule_size * total_molecules as u64, node)
 }
 

@@ -89,9 +89,7 @@ mod tests {
     fn bigger_caches_are_slower() {
         let small = CacheConfig::new(8 << 10, 1, 64).unwrap();
         let big = CacheConfig::new(8 << 20, 1, 64).unwrap();
-        assert!(
-            best_cycle(&big, AccessMode::Parallel) > best_cycle(&small, AccessMode::Parallel)
-        );
+        assert!(best_cycle(&big, AccessMode::Parallel) > best_cycle(&small, AccessMode::Parallel));
     }
 
     #[test]
@@ -107,9 +105,7 @@ mod tests {
     fn ports_slow_the_array() {
         let cfg1 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(1);
         let cfg4 = CacheConfig::new(1 << 20, 4, 64).unwrap().with_ports(4);
-        assert!(
-            best_cycle(&cfg4, AccessMode::Parallel) > best_cycle(&cfg1, AccessMode::Parallel)
-        );
+        assert!(best_cycle(&cfg4, AccessMode::Parallel) > best_cycle(&cfg1, AccessMode::Parallel));
     }
 
     #[test]

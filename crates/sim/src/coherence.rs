@@ -178,8 +178,12 @@ mod tests {
     #[test]
     fn read_read_shares_without_actions() {
         let mut d = Directory::new(64);
-        assert!(d.on_access(CoreId(0), A, AccessKind::Read, Asid::new(1)).is_empty());
-        assert!(d.on_access(CoreId(1), A, AccessKind::Read, Asid::new(2)).is_empty());
+        assert!(d
+            .on_access(CoreId(0), A, AccessKind::Read, Asid::new(1))
+            .is_empty());
+        assert!(d
+            .on_access(CoreId(1), A, AccessKind::Read, Asid::new(2))
+            .is_empty());
         assert_eq!(d.state(CoreId(0), A), LineState::Shared);
         assert_eq!(d.state(CoreId(1), A), LineState::Shared);
     }
@@ -213,7 +217,9 @@ mod tests {
     fn rewrite_by_owner_is_silent() {
         let mut d = Directory::new(64);
         d.on_access(CoreId(0), A, AccessKind::Write, Asid::new(1));
-        assert!(d.on_access(CoreId(0), A, AccessKind::Write, Asid::new(1)).is_empty());
+        assert!(d
+            .on_access(CoreId(0), A, AccessKind::Write, Asid::new(1))
+            .is_empty());
         assert_eq!(d.invalidations(), 0);
     }
 
@@ -224,7 +230,9 @@ mod tests {
         d.on_evict(CoreId(0), A);
         assert_eq!(d.state(CoreId(0), A), LineState::Invalid);
         // A later write by another core needs no invalidations.
-        assert!(d.on_access(CoreId(1), A, AccessKind::Write, Asid::new(1)).is_empty());
+        assert!(d
+            .on_access(CoreId(1), A, AccessKind::Write, Asid::new(1))
+            .is_empty());
     }
 
     #[test]

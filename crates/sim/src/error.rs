@@ -49,7 +49,9 @@ mod tests {
             e.to_string(),
             "invalid cache geometry `assoc`: must divide set count"
         );
-        assert!(SimError::InvalidPartition("x".into()).to_string().contains("x"));
+        assert!(SimError::InvalidPartition("x".into())
+            .to_string()
+            .contains("x"));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Two-level cache composition (private L1s over a shared L2).
 
-use crate::l1::{default_l1_config, L1Filter};
-use crate::model::CacheModel;
 use crate::cmp::{run_accesses, RunSummary};
 use crate::config::CacheConfig;
+use crate::l1::{default_l1_config, L1Filter};
+use crate::model::CacheModel;
 use molcache_trace::gen::BoxedSource;
 use molcache_trace::interleave::Workload;
 
@@ -57,8 +57,7 @@ mod tests {
         };
         let mut l2 = SetAssocCache::lru(CacheConfig::new(1 << 20, 4, 64).unwrap());
         let summary =
-            run_with_private_l1s(vec![mk(1, 0), mk(2, 1 << 30)], None, &mut l2, u64::MAX)
-                .unwrap();
+            run_with_private_l1s(vec![mk(1, 0), mk(2, 1 << 30)], None, &mut l2, u64::MAX).unwrap();
         // 128 lines per app -> 256 L2 references total.
         assert_eq!(summary.accesses, 256);
         assert_eq!(summary.global.misses, 256, "L2 cold misses only");

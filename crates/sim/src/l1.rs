@@ -100,8 +100,7 @@ mod tests {
     #[test]
     fn repeated_line_filtered_after_first_miss() {
         // 1000 references hammering one line: exactly one reaches L2.
-        let src =
-            StrideSource::new(Asid::new(1), Address::new(0), 64, 8, 0.0, 1).take(1000);
+        let src = StrideSource::new(Asid::new(1), Address::new(0), 64, 8, 0.0, 1).take(1000);
         let mut f = L1Filter::new(src);
         assert!(f.next_access().is_some(), "cold miss reaches L2");
         assert!(f.next_access().is_none(), "all further references hit L1");
@@ -111,8 +110,8 @@ mod tests {
     #[test]
     fn streaming_passes_one_miss_per_line() {
         let lines = 512u64;
-        let src = StrideSource::new(Asid::new(1), Address::new(0), lines * 64, 64, 0.0, 1)
-            .take(lines);
+        let src =
+            StrideSource::new(Asid::new(1), Address::new(0), lines * 64, 64, 0.0, 1).take(lines);
         let mut f = L1Filter::new(src);
         let mut l2_refs = 0;
         while f.next_access().is_some() {
@@ -140,8 +139,8 @@ mod tests {
     #[test]
     fn writebacks_emitted_as_writes() {
         // Write-heavy stream larger than L1 forces dirty evictions.
-        let src = StrideSource::new(Asid::new(1), Address::new(0), 64 * 1024, 64, 1.0, 1)
-            .take(4096);
+        let src =
+            StrideSource::new(Asid::new(1), Address::new(0), 64 * 1024, 64, 1.0, 1).take(4096);
         let mut f = L1Filter::new(src);
         let mut total = 0;
         while let Some(acc) = f.next_access() {

@@ -104,6 +104,50 @@ impl Activity {
     }
 }
 
+/// Aggregate outcome of a batched access sequence.
+///
+/// Per-request outcomes collapse into event sums — exactly the totals a
+/// driver loop over [`AccessOutcome`]s would accumulate, so a batch can
+/// replace a loop without changing any measured number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOutcome {
+    /// Requests serviced.
+    pub accesses: u64,
+    /// Requests that hit.
+    pub hits: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Lines brought in from the next level.
+    pub lines_fetched: u64,
+    /// Cycles consumed across all requests.
+    pub total_latency: u64,
+}
+
+impl BatchOutcome {
+    /// Folds one per-request outcome into the totals.
+    pub fn note(&mut self, out: AccessOutcome) {
+        self.accesses += 1;
+        self.hits += u64::from(out.hit);
+        self.writebacks += u64::from(out.writeback);
+        self.lines_fetched += u64::from(out.lines_fetched);
+        self.total_latency += u64::from(out.latency);
+    }
+
+    /// Combines the totals of another batch into this one.
+    pub fn merge(&mut self, other: &BatchOutcome) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.writebacks += other.writebacks;
+        self.lines_fetched += other.lines_fetched;
+        self.total_latency += other.total_latency;
+    }
+
+    /// Requests that missed.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+}
+
 /// A cache that can service a trace.
 ///
 /// Implemented by [`SetAssocCache`](crate::set_assoc::SetAssocCache), the
@@ -114,6 +158,21 @@ impl Activity {
 pub trait CacheModel {
     /// Services one request.
     fn access(&mut self, req: Request) -> AccessOutcome;
+
+    /// Services a slice of requests in order.
+    ///
+    /// Semantically identical to calling [`access`](CacheModel::access)
+    /// once per request and summing the outcomes; implementations may
+    /// override it to amortize per-request dispatch (the molecular cache
+    /// hoists its ASID-gate/region check across runs of same-ASID
+    /// requests) but must keep the results bit-identical to the loop.
+    fn access_batch(&mut self, reqs: &[Request]) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for req in reqs {
+            out.note(self.access(*req));
+        }
+        out
+    }
 
     /// Accumulated hit/miss statistics.
     fn stats(&self) -> &CacheStats;
@@ -150,6 +209,24 @@ mod tests {
         assert!(!m.hit);
         assert!(m.writeback);
         assert_eq!(m.lines_fetched, 1);
+    }
+
+    #[test]
+    fn batch_outcome_note_and_merge() {
+        let mut b = BatchOutcome::default();
+        b.note(AccessOutcome::hit(5));
+        b.note(AccessOutcome::miss(210, true));
+        assert_eq!(b.accesses, 2);
+        assert_eq!(b.hits, 1);
+        assert_eq!(b.misses(), 1);
+        assert_eq!(b.writebacks, 1);
+        assert_eq!(b.lines_fetched, 1);
+        assert_eq!(b.total_latency, 215);
+        let mut c = BatchOutcome::default();
+        c.note(AccessOutcome::hit(7));
+        c.merge(&b);
+        assert_eq!(c.accesses, 3);
+        assert_eq!(c.total_latency, 222);
     }
 
     #[test]

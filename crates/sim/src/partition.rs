@@ -44,7 +44,9 @@ impl ColumnCache {
         ColumnCache {
             cfg,
             lines: vec![LineSlot::EMPTY; sets * assoc],
-            policies: (0..sets).map(|_| SetPolicy::new(Policy::Lru, assoc)).collect(),
+            policies: (0..sets)
+                .map(|_| SetPolicy::new(Policy::Lru, assoc))
+                .collect(),
             columns: BTreeMap::new(),
             rng: Rng::seeded(0xC01_CACE),
             stats: CacheStats::new(),
@@ -58,11 +60,7 @@ impl ColumnCache {
     ///
     /// Returns [`crate::SimError::InvalidPartition`] if `ways` is empty or
     /// references a way ≥ associativity.
-    pub fn assign_columns(
-        &mut self,
-        asid: Asid,
-        ways: Vec<usize>,
-    ) -> Result<(), crate::SimError> {
+    pub fn assign_columns(&mut self, asid: Asid, ways: Vec<usize>) -> Result<(), crate::SimError> {
         if ways.is_empty() {
             return Err(crate::SimError::InvalidPartition(
                 "column assignment must contain at least one way".into(),
@@ -168,7 +166,9 @@ impl ModifiedLruCache {
         ModifiedLruCache {
             cfg,
             lines: vec![LineSlot::EMPTY; sets * assoc],
-            policies: (0..sets).map(|_| SetPolicy::new(Policy::Lru, assoc)).collect(),
+            policies: (0..sets)
+                .map(|_| SetPolicy::new(Policy::Lru, assoc))
+                .collect(),
             quotas: BTreeMap::new(),
             owned: BTreeMap::new(),
             rng: Rng::seeded(0x30D1_F1ED),
@@ -311,7 +311,7 @@ mod tests {
         // App 1 fills its two columns in set 0.
         c.access(req(1, 0));
         c.access(req(1, 2 * 64)); // set 0, different tag
-        // App 2 streams heavily through set 0.
+                                  // App 2 streams heavily through set 0.
         for i in 0..16u64 {
             c.access(req(2, (4 + 2 * i) * 64));
         }

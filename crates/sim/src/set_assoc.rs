@@ -136,10 +136,7 @@ impl CacheModel for SetAssocCache {
 
         // Hit path.
         let slots = &mut self.lines[set * assoc..(set + 1) * assoc];
-        if let Some(way) = slots
-            .iter()
-            .position(|l| l.valid && l.tag == tag)
-        {
+        if let Some(way) = slots.iter().position(|l| l.valid && l.tag == tag) {
             if req.kind.is_write() && self.cfg.write_policy() == WritePolicy::WriteBack {
                 slots[way].dirty = true;
             }
@@ -149,9 +146,7 @@ impl CacheModel for SetAssocCache {
         }
 
         // Store miss under no-write-allocate: forward without installing.
-        if req.kind.is_write()
-            && self.cfg.write_miss_policy() == WriteMissPolicy::NoWriteAllocate
-        {
+        if req.kind.is_write() && self.cfg.write_miss_policy() == WriteMissPolicy::NoWriteAllocate {
             self.stats.record(req.asid, false, false);
             return AccessOutcome {
                 hit: false,
@@ -170,8 +165,7 @@ impl CacheModel for SetAssocCache {
         slots[way] = LineSlot {
             tag,
             valid: true,
-            dirty: req.kind.is_write()
-                && self.cfg.write_policy() == WritePolicy::WriteBack,
+            dirty: req.kind.is_write() && self.cfg.write_policy() == WritePolicy::WriteBack,
             asid: req.asid,
         };
         self.policies[set].on_fill(way);

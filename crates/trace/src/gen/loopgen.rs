@@ -63,7 +63,9 @@ impl LoopSource {
 
 impl TraceSource for LoopSource {
     fn next_access(&mut self) -> Option<MemAccess> {
-        let addr = self.base.byte_add(self.cursor * 64 + (self.touch as u64 * 8) % 64);
+        let addr = self
+            .base
+            .byte_add(self.cursor * 64 + (self.touch as u64 * 8) % 64);
         self.touch += 1;
         if self.touch >= self.touches_per_line {
             self.touch = 0;

@@ -155,13 +155,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "ASID mismatch")]
     fn asid_mismatch_panics() {
-        let _ = MixSource::new(
-            Asid::new(1),
-            vec![stride(Asid::new(2), 0, 1)],
-            &[1.0],
-            4,
-            1,
-        );
+        let _ = MixSource::new(Asid::new(1), vec![stride(Asid::new(2), 0, 1)], &[1.0], 4, 1);
     }
 
     #[test]

@@ -181,7 +181,11 @@ impl TraceSource for ReuseProfileSource {
         } else {
             AccessKind::Read
         };
-        Some(MemAccess::new(self.asid, self.base.byte_add(line * 64), kind))
+        Some(MemAccess::new(
+            self.asid,
+            self.base.byte_add(line * 64),
+            kind,
+        ))
     }
 
     fn asid(&self) -> Asid {

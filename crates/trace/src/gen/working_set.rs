@@ -124,7 +124,9 @@ impl TraceSource for WorkingSetSource {
         let line = self.run_line % self.lines;
         self.run_line = self.run_line.wrapping_add(1);
         self.run_remaining -= 1;
-        let addr = self.base.byte_add(line * 64 + (self.rng.gen_range(64) & !7));
+        let addr = self
+            .base
+            .byte_add(line * 64 + (self.rng.gen_range(64) & !7));
         let kind = if self.write_frac > 0.0 && self.rng.gen_bool(self.write_frac) {
             AccessKind::Write
         } else {
@@ -146,7 +148,8 @@ mod tests {
     #[test]
     fn stays_inside_working_set() {
         let ws = 64 * 1024u64;
-        let mut s = WorkingSetSource::new(Asid::new(1), Address::new(1 << 30), ws, 1.0, 0.5, 0.2, 5);
+        let mut s =
+            WorkingSetSource::new(Asid::new(1), Address::new(1 << 30), ws, 1.0, 0.5, 0.2, 5);
         for _ in 0..10_000 {
             let a = s.next_access().unwrap().addr.raw();
             assert!(a >= (1 << 30) && a < (1 << 30) + ws);
@@ -155,8 +158,7 @@ mod tests {
 
     #[test]
     fn popular_lines_dominate() {
-        let mut s =
-            WorkingSetSource::new(Asid::new(1), Address::new(0), 1 << 20, 1.1, 1.0, 0.0, 6);
+        let mut s = WorkingSetSource::new(Asid::new(1), Address::new(0), 1 << 20, 1.1, 1.0, 0.0, 6);
         let mut counts = std::collections::HashMap::new();
         const N: usize = 40_000;
         for _ in 0..N {
@@ -188,8 +190,7 @@ mod tests {
 
     #[test]
     fn runs_are_sequential() {
-        let mut s =
-            WorkingSetSource::new(Asid::new(1), Address::new(0), 1 << 20, 0.0, 0.2, 0.0, 8);
+        let mut s = WorkingSetSource::new(Asid::new(1), Address::new(0), 1 << 20, 0.0, 0.2, 0.0, 8);
         let mut sequential = 0u32;
         let mut prev = s.next_access().unwrap().addr.line(64).0;
         const N: u32 = 10_000;

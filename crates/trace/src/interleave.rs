@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn empty_workload_rejected() {
-        assert_eq!(Workload::new(vec![]).unwrap_err(), TraceError::EmptyWorkload);
+        assert_eq!(
+            Workload::new(vec![]).unwrap_err(),
+            TraceError::EmptyWorkload
+        );
     }
 
     #[test]

@@ -19,11 +19,11 @@
 //! All streams are deterministic given (benchmark, ASID, seed).
 
 use crate::addr::{Address, Asid};
+#[cfg(test)]
+use crate::gen::TraceSource;
 use crate::gen::{
     BoxedSource, LoopSource, MixSource, PointerChaseSource, StrideSource, WorkingSetSource,
 };
-#[cfg(test)]
-use crate::gen::TraceSource;
 
 /// One behavioural component of a benchmark model.
 #[derive(Debug, Clone, Copy, PartialEq)]

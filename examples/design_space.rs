@@ -72,9 +72,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "{}",
-        bar_chart("miss rate on a 1MB molecular cache (knee at 512KB)", &miss_rows, 40)
+        bar_chart(
+            "miss rate on a 1MB molecular cache (knee at 512KB)",
+            &miss_rows,
+            40
+        )
     );
-    println!("{}", bar_chart("dynamic power @200MHz (W)", &power_rows, 40));
+    println!(
+        "{}",
+        bar_chart("dynamic power @200MHz (W)", &power_rows, 40)
+    );
     println!(
         "smaller molecules probe cheaper arrays but more of them; the paper's\n\
          8KB choice trades probe energy against allocation granularity."

@@ -8,9 +8,7 @@
 //! cargo run --release --example resize_dynamics
 //! ```
 
-use molecular_caches::core::{
-    InitialAllocation, MolecularCache, MolecularConfig, ResizeTrigger,
-};
+use molecular_caches::core::{InitialAllocation, MolecularCache, MolecularConfig, ResizeTrigger};
 use molecular_caches::sim::{CacheModel, Request};
 use molecular_caches::trace::gen::{BoxedSource, PhasedSource, TraceSource, WorkingSetSource};
 use molecular_caches::trace::{Address, Asid};
@@ -61,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>6}   {:>5}  {:>9}  {:>12.3}",
             driven / 1000,
-            if (step / 4) % 2 == 0 { "small" } else { "large" },
+            if (step / 4) % 2 == 0 {
+                "small"
+            } else {
+                "large"
+            },
             snap.molecules,
             snap.last_window_miss_rate
         );

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-2666c9a1d018580d.d: crates/sim/tests/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-2666c9a1d018580d.rmeta: crates/sim/tests/baselines.rs Cargo.toml
+
+crates/sim/tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

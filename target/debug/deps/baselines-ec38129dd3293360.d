@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-ec38129dd3293360.d: crates/sim/tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-ec38129dd3293360: crates/sim/tests/baselines.rs
+
+crates/sim/tests/baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-42b57d612d697012.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-42b57d612d697012: tests/cross_crate.rs
+
+tests/cross_crate.rs:

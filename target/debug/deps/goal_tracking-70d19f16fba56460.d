@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/goal_tracking-70d19f16fba56460.d: tests/goal_tracking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoal_tracking-70d19f16fba56460.rmeta: tests/goal_tracking.rs Cargo.toml
+
+tests/goal_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

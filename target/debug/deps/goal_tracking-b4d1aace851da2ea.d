@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/goal_tracking-b4d1aace851da2ea.d: tests/goal_tracking.rs
+
+/root/repo/target/debug/deps/goal_tracking-b4d1aace851da2ea: tests/goal_tracking.rs
+
+tests/goal_tracking.rs:

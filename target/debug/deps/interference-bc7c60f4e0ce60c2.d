@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interference-bc7c60f4e0ce60c2.d: tests/interference.rs
+
+/root/repo/target/debug/deps/interference-bc7c60f4e0ce60c2: tests/interference.rs
+
+tests/interference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interference-fd01b326396441ba.d: tests/interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterference-fd01b326396441ba.rmeta: tests/interference.rs Cargo.toml
+
+tests/interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-bb2d28b7c346b83c.d: crates/power/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-bb2d28b7c346b83c.rmeta: crates/power/tests/model_properties.rs Cargo.toml
+
+crates/power/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-d30cd4b1f2c0ee2a.d: crates/power/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-d30cd4b1f2c0ee2a: crates/power/tests/model_properties.rs
+
+crates/power/tests/model_properties.rs:

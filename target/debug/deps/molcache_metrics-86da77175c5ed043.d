@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/molcache_metrics-86da77175c5ed043.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolcache_metrics-86da77175c5ed043.rmeta: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/deviation.rs:
+crates/metrics/src/hpm.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/power_deviation.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

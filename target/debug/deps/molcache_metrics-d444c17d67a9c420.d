@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/molcache_metrics-d444c17d67a9c420.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/molcache_metrics-d444c17d67a9c420: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/deviation.rs:
+crates/metrics/src/hpm.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/power_deviation.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/molcache_metrics-d9ac631d8b680b2f.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libmolcache_metrics-d9ac631d8b680b2f.rlib: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libmolcache_metrics-d9ac631d8b680b2f.rmeta: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/deviation.rs:
+crates/metrics/src/hpm.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/power_deviation.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:

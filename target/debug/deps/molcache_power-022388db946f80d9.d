@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/molcache_power-022388db946f80d9.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+/root/repo/target/debug/deps/molcache_power-022388db946f80d9: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/cacti.rs:
+crates/power/src/calibrate.rs:
+crates/power/src/energy.rs:
+crates/power/src/geometry.rs:
+crates/power/src/leakage.rs:
+crates/power/src/tech.rs:
+crates/power/src/timing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/molcache_power-df0e7bd846249a17.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+/root/repo/target/debug/deps/libmolcache_power-df0e7bd846249a17.rlib: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+/root/repo/target/debug/deps/libmolcache_power-df0e7bd846249a17.rmeta: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/cacti.rs:
+crates/power/src/calibrate.rs:
+crates/power/src/energy.rs:
+crates/power/src/geometry.rs:
+crates/power/src/leakage.rs:
+crates/power/src/tech.rs:
+crates/power/src/timing.rs:

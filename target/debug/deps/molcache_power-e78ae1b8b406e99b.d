@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/molcache_power-e78ae1b8b406e99b.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolcache_power-e78ae1b8b406e99b.rmeta: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs Cargo.toml
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/cacti.rs:
+crates/power/src/calibrate.rs:
+crates/power/src/energy.rs:
+crates/power/src/geometry.rs:
+crates/power/src/leakage.rs:
+crates/power/src/tech.rs:
+crates/power/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/molcache_sim-3dfee81572a20eaf.d: crates/sim/src/lib.rs crates/sim/src/cmp.rs crates/sim/src/coherence.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/hierarchy.rs crates/sim/src/l1.rs crates/sim/src/model.rs crates/sim/src/partition.rs crates/sim/src/replacement.rs crates/sim/src/set_assoc.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libmolcache_sim-3dfee81572a20eaf.rlib: crates/sim/src/lib.rs crates/sim/src/cmp.rs crates/sim/src/coherence.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/hierarchy.rs crates/sim/src/l1.rs crates/sim/src/model.rs crates/sim/src/partition.rs crates/sim/src/replacement.rs crates/sim/src/set_assoc.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libmolcache_sim-3dfee81572a20eaf.rmeta: crates/sim/src/lib.rs crates/sim/src/cmp.rs crates/sim/src/coherence.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/hierarchy.rs crates/sim/src/l1.rs crates/sim/src/model.rs crates/sim/src/partition.rs crates/sim/src/replacement.rs crates/sim/src/set_assoc.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cmp.rs:
+crates/sim/src/coherence.rs:
+crates/sim/src/config.rs:
+crates/sim/src/error.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/l1.rs:
+crates/sim/src/model.rs:
+crates/sim/src/partition.rs:
+crates/sim/src/replacement.rs:
+crates/sim/src/set_assoc.rs:
+crates/sim/src/stats.rs:

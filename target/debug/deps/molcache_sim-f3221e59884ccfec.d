@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/molcache_sim-f3221e59884ccfec.d: crates/sim/src/lib.rs crates/sim/src/cmp.rs crates/sim/src/coherence.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/hierarchy.rs crates/sim/src/l1.rs crates/sim/src/model.rs crates/sim/src/partition.rs crates/sim/src/replacement.rs crates/sim/src/set_assoc.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolcache_sim-f3221e59884ccfec.rmeta: crates/sim/src/lib.rs crates/sim/src/cmp.rs crates/sim/src/coherence.rs crates/sim/src/config.rs crates/sim/src/error.rs crates/sim/src/hierarchy.rs crates/sim/src/l1.rs crates/sim/src/model.rs crates/sim/src/partition.rs crates/sim/src/replacement.rs crates/sim/src/set_assoc.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cmp.rs:
+crates/sim/src/coherence.rs:
+crates/sim/src/config.rs:
+crates/sim/src/error.rs:
+crates/sim/src/hierarchy.rs:
+crates/sim/src/l1.rs:
+crates/sim/src/model.rs:
+crates/sim/src/partition.rs:
+crates/sim/src/replacement.rs:
+crates/sim/src/set_assoc.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

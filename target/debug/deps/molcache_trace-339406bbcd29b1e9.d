@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/molcache_trace-339406bbcd29b1e9.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/din.rs crates/trace/src/dist.rs crates/trace/src/error.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/loopgen.rs crates/trace/src/gen/mix.rs crates/trace/src/gen/phased.rs crates/trace/src/gen/pointer_chase.rs crates/trace/src/gen/reuse.rs crates/trace/src/gen/stride.rs crates/trace/src/gen/working_set.rs crates/trace/src/interleave.rs crates/trace/src/presets.rs crates/trace/src/rng.rs crates/trace/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolcache_trace-339406bbcd29b1e9.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/din.rs crates/trace/src/dist.rs crates/trace/src/error.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/loopgen.rs crates/trace/src/gen/mix.rs crates/trace/src/gen/phased.rs crates/trace/src/gen/pointer_chase.rs crates/trace/src/gen/reuse.rs crates/trace/src/gen/stride.rs crates/trace/src/gen/working_set.rs crates/trace/src/interleave.rs crates/trace/src/presets.rs crates/trace/src/rng.rs crates/trace/src/stats.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/addr.rs:
+crates/trace/src/din.rs:
+crates/trace/src/dist.rs:
+crates/trace/src/error.rs:
+crates/trace/src/gen/mod.rs:
+crates/trace/src/gen/loopgen.rs:
+crates/trace/src/gen/mix.rs:
+crates/trace/src/gen/phased.rs:
+crates/trace/src/gen/pointer_chase.rs:
+crates/trace/src/gen/reuse.rs:
+crates/trace/src/gen/stride.rs:
+crates/trace/src/gen/working_set.rs:
+crates/trace/src/interleave.rs:
+crates/trace/src/presets.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

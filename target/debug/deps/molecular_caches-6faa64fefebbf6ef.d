@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molecular_caches-6faa64fefebbf6ef.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolecular_caches-6faa64fefebbf6ef.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/molecular_caches-a73b3ce5d9703b59.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmolecular_caches-a73b3ce5d9703b59.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmolecular_caches-a73b3ce5d9703b59.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molecular_caches-be7f0135c3de27b0.d: src/lib.rs
+
+/root/repo/target/debug/deps/molecular_caches-be7f0135c3de27b0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molsim-9e9cddf35a09c49c.d: crates/bench/src/bin/molsim.rs
+
+/root/repo/target/debug/deps/molsim-9e9cddf35a09c49c: crates/bench/src/bin/molsim.rs
+
+crates/bench/src/bin/molsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molsim-ab1dc278edf4bfed.d: crates/bench/src/bin/molsim.rs
+
+/root/repo/target/debug/deps/molsim-ab1dc278edf4bfed: crates/bench/src/bin/molsim.rs
+
+crates/bench/src/bin/molsim.rs:

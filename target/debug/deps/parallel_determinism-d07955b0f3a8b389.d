@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-d07955b0f3a8b389.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-d07955b0f3a8b389: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

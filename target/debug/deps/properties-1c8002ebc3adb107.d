@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1c8002ebc3adb107.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1c8002ebc3adb107: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b0820453af4ee39c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b0820453af4ee39c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

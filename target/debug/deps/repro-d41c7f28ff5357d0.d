@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-d41c7f28ff5357d0.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-d41c7f28ff5357d0: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-d3eaafa9bcb7f852.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-d3eaafa9bcb7f852: examples/design_space.rs
+
+examples/design_space.rs:

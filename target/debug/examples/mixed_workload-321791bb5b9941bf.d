@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_workload-321791bb5b9941bf.d: examples/mixed_workload.rs
+
+/root/repo/target/debug/examples/mixed_workload-321791bb5b9941bf: examples/mixed_workload.rs
+
+examples/mixed_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_report-3e22738a52b26ed8.d: crates/power/examples/model_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_report-3e22738a52b26ed8.rmeta: crates/power/examples/model_report.rs Cargo.toml
+
+crates/power/examples/model_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

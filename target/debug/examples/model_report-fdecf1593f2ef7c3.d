@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_report-fdecf1593f2ef7c3.d: crates/power/examples/model_report.rs
+
+/root/repo/target/debug/examples/model_report-fdecf1593f2ef7c3: crates/power/examples/model_report.rs
+
+crates/power/examples/model_report.rs:

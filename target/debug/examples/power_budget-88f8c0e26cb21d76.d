@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget-88f8c0e26cb21d76.d: examples/power_budget.rs
+
+/root/repo/target/debug/examples/power_budget-88f8c0e26cb21d76: examples/power_budget.rs
+
+examples/power_budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qos_partitioning-2786deda20411b60.d: examples/qos_partitioning.rs
+
+/root/repo/target/debug/examples/qos_partitioning-2786deda20411b60: examples/qos_partitioning.rs
+
+examples/qos_partitioning.rs:

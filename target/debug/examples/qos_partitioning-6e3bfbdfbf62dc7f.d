@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qos_partitioning-6e3bfbdfbf62dc7f.d: examples/qos_partitioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqos_partitioning-6e3bfbdfbf62dc7f.rmeta: examples/qos_partitioning.rs Cargo.toml
+
+examples/qos_partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ce0902ff5c88585d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ce0902ff5c88585d: examples/quickstart.rs
+
+examples/quickstart.rs:

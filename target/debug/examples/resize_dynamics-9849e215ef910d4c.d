@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resize_dynamics-9849e215ef910d4c.d: examples/resize_dynamics.rs
+
+/root/repo/target/debug/examples/resize_dynamics-9849e215ef910d4c: examples/resize_dynamics.rs
+
+examples/resize_dynamics.rs:

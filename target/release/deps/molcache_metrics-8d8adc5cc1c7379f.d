@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/molcache_metrics-8d8adc5cc1c7379f.d: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libmolcache_metrics-8d8adc5cc1c7379f.rlib: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libmolcache_metrics-8d8adc5cc1c7379f.rmeta: crates/metrics/src/lib.rs crates/metrics/src/chart.rs crates/metrics/src/deviation.rs crates/metrics/src/hpm.rs crates/metrics/src/json.rs crates/metrics/src/power_deviation.rs crates/metrics/src/record.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/chart.rs:
+crates/metrics/src/deviation.rs:
+crates/metrics/src/hpm.rs:
+crates/metrics/src/json.rs:
+crates/metrics/src/power_deviation.rs:
+crates/metrics/src/record.rs:
+crates/metrics/src/table.rs:

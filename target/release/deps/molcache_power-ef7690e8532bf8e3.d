@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/molcache_power-ef7690e8532bf8e3.d: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+/root/repo/target/release/deps/libmolcache_power-ef7690e8532bf8e3.rlib: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+/root/repo/target/release/deps/libmolcache_power-ef7690e8532bf8e3.rmeta: crates/power/src/lib.rs crates/power/src/accounting.rs crates/power/src/cacti.rs crates/power/src/calibrate.rs crates/power/src/energy.rs crates/power/src/geometry.rs crates/power/src/leakage.rs crates/power/src/tech.rs crates/power/src/timing.rs
+
+crates/power/src/lib.rs:
+crates/power/src/accounting.rs:
+crates/power/src/cacti.rs:
+crates/power/src/calibrate.rs:
+crates/power/src/energy.rs:
+crates/power/src/geometry.rs:
+crates/power/src/leakage.rs:
+crates/power/src/tech.rs:
+crates/power/src/timing.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/molcache_trace-cf6dde37688ace61.d: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/din.rs crates/trace/src/dist.rs crates/trace/src/error.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/loopgen.rs crates/trace/src/gen/mix.rs crates/trace/src/gen/phased.rs crates/trace/src/gen/pointer_chase.rs crates/trace/src/gen/reuse.rs crates/trace/src/gen/stride.rs crates/trace/src/gen/working_set.rs crates/trace/src/interleave.rs crates/trace/src/presets.rs crates/trace/src/rng.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libmolcache_trace-cf6dde37688ace61.rlib: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/din.rs crates/trace/src/dist.rs crates/trace/src/error.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/loopgen.rs crates/trace/src/gen/mix.rs crates/trace/src/gen/phased.rs crates/trace/src/gen/pointer_chase.rs crates/trace/src/gen/reuse.rs crates/trace/src/gen/stride.rs crates/trace/src/gen/working_set.rs crates/trace/src/interleave.rs crates/trace/src/presets.rs crates/trace/src/rng.rs crates/trace/src/stats.rs
+
+/root/repo/target/release/deps/libmolcache_trace-cf6dde37688ace61.rmeta: crates/trace/src/lib.rs crates/trace/src/access.rs crates/trace/src/addr.rs crates/trace/src/din.rs crates/trace/src/dist.rs crates/trace/src/error.rs crates/trace/src/gen/mod.rs crates/trace/src/gen/loopgen.rs crates/trace/src/gen/mix.rs crates/trace/src/gen/phased.rs crates/trace/src/gen/pointer_chase.rs crates/trace/src/gen/reuse.rs crates/trace/src/gen/stride.rs crates/trace/src/gen/working_set.rs crates/trace/src/interleave.rs crates/trace/src/presets.rs crates/trace/src/rng.rs crates/trace/src/stats.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/access.rs:
+crates/trace/src/addr.rs:
+crates/trace/src/din.rs:
+crates/trace/src/dist.rs:
+crates/trace/src/error.rs:
+crates/trace/src/gen/mod.rs:
+crates/trace/src/gen/loopgen.rs:
+crates/trace/src/gen/mix.rs:
+crates/trace/src/gen/phased.rs:
+crates/trace/src/gen/pointer_chase.rs:
+crates/trace/src/gen/reuse.rs:
+crates/trace/src/gen/stride.rs:
+crates/trace/src/gen/working_set.rs:
+crates/trace/src/interleave.rs:
+crates/trace/src/presets.rs:
+crates/trace/src/rng.rs:
+crates/trace/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/molecular_caches-46ab44f1a970dafb.d: src/lib.rs
+
+/root/repo/target/release/deps/libmolecular_caches-46ab44f1a970dafb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmolecular_caches-46ab44f1a970dafb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/molsim-8a7b5e5b4961c6a4.d: crates/bench/src/bin/molsim.rs
+
+/root/repo/target/release/deps/molsim-8a7b5e5b4961c6a4: crates/bench/src/bin/molsim.rs
+
+crates/bench/src/bin/molsim.rs:

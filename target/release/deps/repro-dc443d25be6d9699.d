@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-dc443d25be6d9699.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-dc443d25be6d9699: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

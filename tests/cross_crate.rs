@@ -114,23 +114,21 @@ fn coherence_directory_keeps_private_l1s_consistent() {
         kind,
     };
 
-    let drive = |core: usize,
-                     kind: AccessKind,
-                     l1: &mut [SetAssocCache; 2],
-                     dir: &mut Directory| {
-        let actions = dir.on_access(CoreId(core as u16), addr, kind, Asid::new(1));
-        for action in actions {
-            match action {
-                CoherenceAction::Invalidate(CoreId(c)) => {
-                    l1[c as usize].invalidate(req(AccessKind::Read));
-                }
-                CoherenceAction::Downgrade(_) => {
-                    // Data written back; the copy stays readable.
+    let drive =
+        |core: usize, kind: AccessKind, l1: &mut [SetAssocCache; 2], dir: &mut Directory| {
+            let actions = dir.on_access(CoreId(core as u16), addr, kind, Asid::new(1));
+            for action in actions {
+                match action {
+                    CoherenceAction::Invalidate(CoreId(c)) => {
+                        l1[c as usize].invalidate(req(AccessKind::Read));
+                    }
+                    CoherenceAction::Downgrade(_) => {
+                        // Data written back; the copy stays readable.
+                    }
                 }
             }
-        }
-        l1[core].access(req(kind));
-    };
+            l1[core].access(req(kind));
+        };
 
     drive(0, AccessKind::Read, &mut l1, &mut dir);
     drive(1, AccessKind::Read, &mut l1, &mut dir);
@@ -169,12 +167,19 @@ fn measured_activity_prices_to_sane_power() {
     let power = meter.power_at_mhz(&cache.activity(), 200.0);
     // One tile fully enabled would be ~5 W at 200 MHz; a single app
     // using part of one tile must be strictly less, and non-zero.
-    assert!(power > 0.05 && power < 6.0, "implausible power {power:.2} W");
+    assert!(
+        power > 0.05 && power < 6.0,
+        "implausible power {power:.2} W"
+    );
 
     // Traditional comparison at the same frequency via its own meter.
     let trad_cfg = CacheConfig::new(2 << 20, 4, 64).unwrap().with_ports(4);
     let mut trad = SetAssocCache::lru(trad_cfg);
-    run_source(Benchmark::Twolf.source(Asid::new(1), 13), &mut trad, 600_000);
+    run_source(
+        Benchmark::Twolf.source(Asid::new(1), 13),
+        &mut trad,
+        600_000,
+    );
     let trad_meter = EnergyMeter::for_traditional(&analyze(&trad_cfg, &node));
     let trad_power = trad_meter.power_at_mhz(&trad.activity(), 200.0);
     assert!(

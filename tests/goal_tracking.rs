@@ -1,8 +1,6 @@
 //! Algorithm 1 end-to-end: partitions converge toward their goals.
 
-use molecular_caches::core::{
-    InitialAllocation, MolecularCache, MolecularConfig, ResizeTrigger,
-};
+use molecular_caches::core::{InitialAllocation, MolecularCache, MolecularConfig, ResizeTrigger};
 use molecular_caches::sim::cmp::run_shared;
 use molecular_caches::trace::presets::Benchmark;
 use molecular_caches::trace::Asid;

@@ -10,14 +10,8 @@ use molecular_caches::trace::{AccessKind, Address, Asid};
 use proptest::prelude::*;
 use std::collections::{HashMap, VecDeque};
 
-fn arbitrary_trace(
-    max_line: u64,
-    len: usize,
-) -> impl Strategy<Value = Vec<(u16, u64, bool)>> {
-    proptest::collection::vec(
-        (1u16..4, 0u64..max_line, proptest::bool::ANY),
-        1..len,
-    )
+fn arbitrary_trace(max_line: u64, len: usize) -> impl Strategy<Value = Vec<(u16, u64, bool)>> {
+    proptest::collection::vec((1u16..4, 0u64..max_line, proptest::bool::ANY), 1..len)
 }
 
 /// A trivially-correct reference model of a set-associative LRU cache.
@@ -209,6 +203,62 @@ proptest! {
         }
         prop_assert_eq!(cache.find_duplicate_line(), None);
     }
+
+    /// `access_batch` is bit-identical to a loop of single `access` calls
+    /// for arbitrary traffic and arbitrary batch boundaries: same hit/miss
+    /// sequence totals, same latency, same stats, same region state.
+    #[test]
+    fn access_batch_matches_single_access_loop(
+        trace in arbitrary_trace(512, 300),
+        chunk in 1usize..48,
+    ) {
+        let build = || {
+            let config = MolecularConfig::builder()
+                .molecule_size(1024)
+                .tile_molecules(8)
+                .tiles_per_cluster(2)
+                .clusters(2)
+                .initial_allocation(InitialAllocation::Molecules(2))
+                .trigger(ResizeTrigger::Constant { period: 64 })
+                .policy(RegionPolicy::Randy)
+                .seed(11)
+                .build()
+                .unwrap();
+            MolecularCache::new(config)
+        };
+        let reqs: Vec<Request> = trace
+            .iter()
+            .map(|(asid, line, is_write)| Request {
+                asid: Asid::new(*asid),
+                addr: Address::new(((*asid as u64) << 36) + line * 64),
+                kind: if *is_write { AccessKind::Write } else { AccessKind::Read },
+            })
+            .collect();
+
+        let mut serial = build();
+        let mut hits = 0u64;
+        let mut latency = 0u64;
+        for req in &reqs {
+            let out = serial.access(*req);
+            hits += u64::from(out.hit);
+            latency += u64::from(out.latency);
+        }
+
+        let mut batched = build();
+        let mut batch_hits = 0u64;
+        let mut batch_latency = 0u64;
+        for slice in reqs.chunks(chunk) {
+            let out = batched.access_batch(slice);
+            batch_hits += out.hits;
+            batch_latency += out.total_latency;
+        }
+
+        prop_assert_eq!(hits, batch_hits);
+        prop_assert_eq!(latency, batch_latency);
+        prop_assert_eq!(serial.stats(), batched.stats());
+        prop_assert_eq!(serial.snapshots(), batched.snapshots());
+        prop_assert_eq!(serial.activity(), batched.activity());
+    }
 }
 
 /// Interleaving granularity should not change totals, only interference:
@@ -260,8 +310,7 @@ fn molecular_run_is_deterministic() {
             .unwrap();
         let mut cache = MolecularCache::new(config);
         let mut hits = HashMap::new();
-        let mut src = molecular_caches::trace::presets::Benchmark::Gzip
-            .source(Asid::new(1), 123);
+        let mut src = molecular_caches::trace::presets::Benchmark::Gzip.source(Asid::new(1), 123);
         use molecular_caches::trace::gen::TraceSource;
         for _ in 0..50_000 {
             let acc = src.next_access().unwrap();
