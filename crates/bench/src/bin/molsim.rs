@@ -152,7 +152,7 @@ fn report<C: CacheModel>(cache: &C, args: &Args, summary: &molcache_sim::cmp::Ru
     println!("cache: {}", cache.describe());
     println!(
         "refs: {}  global miss rate: {:.4}  avg latency: {:.1} cycles",
-        summary.accesses,
+        summary.accesses(),
         summary.global.miss_rate(),
         summary.avg_latency()
     );

@@ -1,0 +1,166 @@
+//! `molstat` — partition-timeline inspector for the molecular cache.
+//!
+//! Runs the Table 2 mixed workload (12 benchmarks over the 6 MB
+//! molecular cache) cold — no warmup — with a telemetry recorder
+//! attached, then prints the per-partition epoch timeline, the resize
+//! event log and the latency histogram, or exports the whole time-series
+//! as JSON.
+//!
+//! ```text
+//! molstat                                # randy timeline, 200K refs
+//! molstat --policy randy,random --jobs 2 # one run per policy, fanned out
+//! molstat --refs 60000 --period 2000 --epoch 5000 --json > series.json
+//! ```
+//!
+//! One run per listed policy; `--jobs N` fans the runs across workers.
+//! Runs are merged back in policy-list order, so the output (text and
+//! JSON) is identical for any `--jobs` value.
+
+use molcache_bench::experiments::table2;
+use molcache_bench::harness::{run_workload_recorded, Engine};
+use molcache_core::{MolecularCache, RegionPolicy};
+use molcache_power::calibrate::molecule_report;
+use molcache_power::tech::TechNode;
+use molcache_power::EnergyMeter;
+use molcache_sim::cmp::RunSummary;
+use molcache_sim::CacheModel;
+use molcache_telemetry::runs_to_json;
+use molcache_trace::presets::Benchmark;
+
+#[derive(Debug)]
+struct Args {
+    policies: Vec<RegionPolicy>,
+    refs: u64,
+    epoch: u64,
+    period: u64,
+    seed: u64,
+    jobs: usize,
+    json: bool,
+    power: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: molstat [--policy randy,random,lru-direct] [--refs N]\n\
+         \u{20}             [--epoch N] [--period N] [--seed N] [--jobs N]\n\
+         \u{20}             [--power] [--json]\n\
+         \u{20} --refs    references to simulate (default 200000)\n\
+         \u{20} --epoch   accesses per telemetry epoch (default 10000)\n\
+         \u{20} --period  initial per-app resize period (default 5000)\n\
+         \u{20} --power   price epoch activity into energy (70nm CACTI model)\n\
+         \u{20} --json    print the merged time-series as JSON on stdout"
+    );
+    std::process::exit(2);
+}
+
+fn parse_policy(name: &str) -> RegionPolicy {
+    match name.to_ascii_lowercase().as_str() {
+        "random" => RegionPolicy::Random,
+        "randy" => RegionPolicy::Randy,
+        "lru-direct" | "lrudirect" => RegionPolicy::LruDirect,
+        _ => usage(),
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        policies: vec![RegionPolicy::Randy],
+        refs: 200_000,
+        epoch: 10_000,
+        period: 5_000,
+        seed: 7,
+        jobs: 1,
+        json: false,
+        power: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--policy" => args.policies = value().split(',').map(parse_policy).collect(),
+            "--refs" => args.refs = value().parse().unwrap_or_else(|_| usage()),
+            "--epoch" => args.epoch = value().parse().unwrap_or_else(|_| usage()),
+            "--period" => args.period = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--jobs" => args.jobs = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = true,
+            "--power" => args.power = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.policies.is_empty() || args.refs == 0 || args.epoch == 0 || args.period == 0 {
+        usage();
+    }
+    args
+}
+
+struct RunResult {
+    policy: RegionPolicy,
+    summary: RunSummary,
+    description: String,
+    resize_rounds: u64,
+    free_molecules: usize,
+}
+
+fn main() {
+    let args = parse_args();
+    let (refs, seed, period) = (args.refs, args.seed, args.period);
+
+    let results = Engine::new(args.jobs).run_recorded(
+        args.policies.clone(),
+        args.epoch,
+        move |policy, sink| {
+            let mut cache: MolecularCache =
+                table2::molecular_6mb_with_period(policy, seed, period).with_sink(sink.clone());
+            let summary = run_workload_recorded(&Benchmark::MIXED12, &mut cache, refs, seed, &sink);
+            RunResult {
+                policy,
+                summary,
+                description: cache.describe(),
+                resize_rounds: cache.resize_rounds(),
+                free_molecules: cache.free_molecules(),
+            }
+        },
+    );
+
+    let meter = args.power.then(|| {
+        EnergyMeter::for_molecular(&molecule_report(&TechNode::nm70()), &TechNode::nm70())
+    });
+    let mut recorders = Vec::new();
+    let mut runs = Vec::new();
+    for (run, mut recorder) in results {
+        recorder.set_label(format!("{} seed {}", run.description, seed));
+        if let Some(meter) = meter {
+            recorder.set_energy_meter(meter);
+        }
+        recorders.push(recorder);
+        runs.push(run);
+    }
+
+    if args.json {
+        match runs_to_json(&recorders) {
+            Ok(doc) => println!("{doc}"),
+            Err(e) => {
+                eprintln!("telemetry export failed: {e:?}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    for (run, recorder) in runs.iter().zip(&recorders) {
+        println!("{}", recorder.render());
+        println!(
+            "{}: {} refs, global miss rate {:.4}, avg latency {:.1} cycles, \
+             {} resize rounds, {} free molecules",
+            run.policy,
+            run.summary.accesses(),
+            run.summary.global.miss_rate(),
+            run.summary.avg_latency(),
+            run.resize_rounds,
+            run.free_molecules,
+        );
+        println!();
+    }
+}

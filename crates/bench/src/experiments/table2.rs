@@ -74,6 +74,17 @@ pub struct Table2 {
 /// four-application groups ("without giving consideration to the nature
 /// of the mix").
 pub fn molecular_6mb(policy: RegionPolicy, seed: u64) -> MolecularCache {
+    molecular_6mb_with_period(policy, seed, 25_000)
+}
+
+/// [`molecular_6mb`] with an explicit initial per-app resize period —
+/// short experiments (CI smoke runs, `molstat` timelines) need the
+/// trigger to fire well before the paper's 25 K-access window.
+pub fn molecular_6mb_with_period(
+    policy: RegionPolicy,
+    seed: u64,
+    initial_period: u64,
+) -> MolecularCache {
     let mut builder = MolecularConfig::builder();
     builder
         .molecule_size(8 * 1024)
@@ -82,9 +93,7 @@ pub fn molecular_6mb(policy: RegionPolicy, seed: u64) -> MolecularCache {
         .clusters(3)
         .policy(policy)
         .miss_rate_goal(GOAL)
-        .trigger(ResizeTrigger::PerAppAdaptive {
-            initial_period: 25_000,
-        })
+        .trigger(ResizeTrigger::PerAppAdaptive { initial_period })
         .seed(seed);
     for (i, _b) in Benchmark::MIXED12.iter().enumerate() {
         builder.assign_app_to_cluster(asid_of(i), i / 4);

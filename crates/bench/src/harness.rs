@@ -1,14 +1,15 @@
 //! Shared experiment plumbing.
 
 use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
-use molcache_sim::cmp::{run_accesses, RunSummary};
+use molcache_sim::cmp::{run_accesses, run_accesses_observed, RunSummary};
 use molcache_sim::CacheModel;
+use molcache_telemetry::{Recorder, Sink, SinkHandle};
 use molcache_trace::gen::BoxedSource;
 use molcache_trace::interleave::Workload;
 use molcache_trace::presets::Benchmark;
 use molcache_trace::Asid;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A deterministic fan-out scheduler for independent experiment points.
 ///
@@ -84,6 +85,31 @@ impl Engine {
                     .expect("every slot is filled before scope exit")
             })
             .collect()
+    }
+
+    /// Like [`Engine::run`], but hands each item a fresh telemetry
+    /// [`SinkHandle`] (closing an epoch every `epoch_length` accesses) and
+    /// returns the filled [`Recorder`] next to each result. Recorders come
+    /// back **in item order**, so merged epoch streams — like the results
+    /// themselves — are identical for any worker count.
+    pub fn run_recorded<T, R, F>(
+        &self,
+        items: Vec<T>,
+        epoch_length: u64,
+        f: F,
+    ) -> Vec<(R, Recorder)>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T, SinkHandle) -> R + Sync,
+    {
+        self.run(items, move |item| {
+            let recorder: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::default()));
+            let sink: Arc<Mutex<dyn Sink>> = recorder.clone();
+            let result = f(item, SinkHandle::shared(sink, epoch_length));
+            let recorder = recorder.lock().expect("recorder lock").clone();
+            (result, recorder)
+        })
     }
 }
 
@@ -222,6 +248,29 @@ where
     run_accesses(&mut stream, cache, references - warm)
 }
 
+/// Like [`run_workload_on`], but publishes every access into `sink` (the
+/// latency-histogram feed) while driving. Runs cold — no warmup — so the
+/// telemetry stream includes the cold-start growth phase Algorithm 1
+/// works through, which is exactly what a partition timeline should show.
+pub fn run_workload_recorded<C>(
+    benchmarks: &[Benchmark],
+    cache: &mut C,
+    references: u64,
+    seed: u64,
+    sink: &SinkHandle,
+) -> RunSummary
+where
+    C: CacheModel + ?Sized,
+{
+    let sources: Vec<BoxedSource> = molcache_trace::presets::workload(benchmarks, seed)
+        .into_iter()
+        .map(|(_, src)| src)
+        .collect();
+    let workload = Workload::new(sources).expect("preset workload is valid");
+    let mut obs = sink.clone();
+    run_accesses_observed(workload.round_robin(), cache, references, &mut obs)
+}
+
 /// The ASID a benchmark receives by its position in the workload list.
 pub fn asid_of(position: usize) -> Asid {
     Asid::new(position as u16 + 1)
@@ -256,7 +305,7 @@ mod tests {
         let mut cache = SetAssocCache::lru(CacheConfig::new(1 << 20, 4, 64).unwrap());
         let summary = run_workload_on(&Benchmark::SPEC4, &mut cache, 20_000, 42);
         assert_eq!(summary.per_app.len(), 4);
-        assert_eq!(summary.accesses, 20_000);
+        assert_eq!(summary.accesses(), 20_000);
     }
 
     #[test]
@@ -285,6 +334,38 @@ mod tests {
         let e = Engine::new(0);
         assert_eq!(e.jobs(), 1);
         assert_eq!(e.run(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn run_recorded_is_worker_count_invariant() {
+        use molcache_core::ResizeTrigger;
+        let drive = |seed: u64, sink: SinkHandle| {
+            let cfg = MolecularConfig::builder()
+                .molecule_size(8 * 1024)
+                .tile_molecules(16)
+                .tiles_per_cluster(2)
+                .clusters(1)
+                .trigger(ResizeTrigger::Constant { period: 2_000 })
+                .seed(seed)
+                .build()
+                .unwrap();
+            let mut cache = MolecularCache::new(cfg).with_sink(sink.clone());
+            run_workload_recorded(&Benchmark::SPEC4, &mut cache, 10_000, seed, &sink)
+        };
+        let items: Vec<u64> = vec![1, 2, 3];
+        let serial = Engine::serial().run_recorded(items.clone(), 2_500, drive);
+        let parallel = Engine::new(4).run_recorded(items, 2_500, drive);
+        assert_eq!(serial.len(), parallel.len());
+        for ((s_sum, s_rec), (p_sum, p_rec)) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s_sum, p_sum);
+            assert_eq!(
+                s_rec.to_json().unwrap(),
+                p_rec.to_json().unwrap(),
+                "telemetry export must not depend on worker count"
+            );
+            assert_eq!(s_rec.epochs().len(), 4, "10000 refs / 2500-long epochs");
+            assert_eq!(s_rec.global_latency().count(), 10_000);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::resize::{algorithm1, Decision, ResizeController, ResizeEvent};
 use crate::stats::RegionSnapshot;
 use crate::tile::{Tile, TileCluster};
 use molcache_sim::{AccessOutcome, Activity, BatchOutcome, CacheModel, CacheStats, Request};
+use molcache_telemetry::{EpochActivity, EpochSample, Event, ResizeKind, ResizeRecord, SinkHandle};
 use molcache_trace::rng::Rng;
 use molcache_trace::{Asid, LineAddr};
 
@@ -64,6 +65,10 @@ pub struct MolecularCache {
     resize_rounds: u64,
     resize_partitions_touched: u64,
     failed_allocations: u64,
+    sink: SinkHandle,
+    epoch_index: u64,
+    epoch_stats_base: CacheStats,
+    epoch_activity_base: Activity,
 }
 
 impl MolecularCache {
@@ -113,7 +118,27 @@ impl MolecularCache {
             resize_rounds: 0,
             resize_partitions_touched: 0,
             failed_allocations: 0,
+            sink: SinkHandle::null(),
+            epoch_index: 0,
+            epoch_stats_base: CacheStats::new(),
+            epoch_activity_base: Activity::default(),
         }
+    }
+
+    /// Attaches a telemetry sink. The cache publishes per-partition epoch
+    /// samples, cache-wide epoch activity and resize events into it; with
+    /// the default [`SinkHandle::null`] every publish site short-circuits
+    /// on a null-check and the cache behaves bit-identically to an
+    /// unobserved one.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
+
+    /// Builder-style [`set_sink`](Self::set_sink).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SinkHandle) -> Self {
+        self.set_sink(sink);
+        self
     }
 
     /// The configuration in force.
@@ -419,6 +444,100 @@ impl MolecularCache {
         writeback
     }
 
+    // ---- telemetry ---------------------------------------------------------
+
+    /// Fraction of a region's line frames holding valid lines.
+    fn occupancy_of(&self, region: &Region) -> f64 {
+        let frames = region.size() * self.cfg.frames_per_molecule();
+        if frames == 0 {
+            return 0.0;
+        }
+        let valid: usize = region
+            .molecules()
+            .map(|id| self.molecules[id.index()].occupancy())
+            .sum();
+        valid as f64 / frames as f64
+    }
+
+    /// Publishes per-partition samples and cache-wide activity when the
+    /// current access closes an epoch. Telemetry only reads cache state,
+    /// so results stay bit-identical whether or not a sink is attached.
+    fn maybe_close_epoch(&mut self) {
+        if !self.sink.is_enabled() || self.activity.accesses == 0 {
+            return;
+        }
+        if !self.activity.accesses.is_multiple_of(self.sink.epoch_length()) {
+            return;
+        }
+        let epoch = self.epoch_index;
+        let delta = self.stats.since(&self.epoch_stats_base);
+        let samples: Vec<EpochSample> = self
+            .regions
+            .iter()
+            .map(|(asid, region)| {
+                let app = delta.app(*asid);
+                EpochSample {
+                    epoch,
+                    asid: *asid,
+                    accesses: app.accesses,
+                    misses: app.misses,
+                    molecules: region.size(),
+                    rows: region.num_rows(),
+                    occupancy: self.occupancy_of(region),
+                    goal: region.goal(),
+                }
+            })
+            .collect();
+        let base = self.epoch_activity_base;
+        let activity = EpochActivity {
+            epoch,
+            accesses: self.activity.accesses - base.accesses,
+            ways_probed: self.activity.ways_probed - base.ways_probed,
+            line_fills: self.activity.line_fills - base.line_fills,
+            writebacks: self.activity.writebacks - base.writebacks,
+            asid_compares: self.activity.asid_compares - base.asid_compares,
+            ulmo_searches: self.activity.ulmo_searches - base.ulmo_searches,
+            free_molecules: self.free_molecules(),
+        };
+        for sample in &samples {
+            self.sink.emit(Event::Partition(sample));
+        }
+        self.sink.emit(Event::Epoch(&activity));
+        self.epoch_index += 1;
+        self.epoch_stats_base = self.stats.clone();
+        self.epoch_activity_base = self.activity;
+    }
+
+    /// Publishes one applied resize decision.
+    #[allow(clippy::too_many_arguments)]
+    fn publish_resize(
+        &self,
+        asid: Asid,
+        kind: ResizeKind,
+        requested: usize,
+        applied: usize,
+        before: usize,
+        window_miss_rate: f64,
+        goal: f64,
+    ) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let record = ResizeRecord {
+            at_access: self.activity.accesses,
+            trigger: self.cfg.trigger().name().to_string(),
+            asid,
+            kind,
+            requested,
+            applied,
+            before,
+            after: self.regions[&asid].size(),
+            window_miss_rate,
+            goal,
+        };
+        self.sink.emit(Event::Resize(&record));
+    }
+
     // ---- resizing (Algorithm 1) -------------------------------------------
 
     fn resize_partition(&mut self, asid: Asid) -> (u64, u64) {
@@ -452,9 +571,11 @@ impl MolecularCache {
                 let granted = self.grant_molecules(&mut region, n);
                 region.note_allocation(granted);
                 self.regions.insert(asid, region);
+                self.publish_resize(asid, ResizeKind::Grow, n, granted, current, mr, goal);
             }
             Decision::Shrink(n) => {
                 let mut region = self.regions.remove(&asid).expect("present");
+                let mut removed = 0;
                 for _ in 0..n {
                     let Some(id) =
                         region.remove_coldest(|m| self.molecules[m.index()].miss_count())
@@ -465,8 +586,10 @@ impl MolecularCache {
                     self.activity.writebacks += flushed;
                     let tile = self.molecules[id.index()].tile();
                     self.tiles[tile.index()].release(id);
+                    removed += 1;
                 }
                 self.regions.insert(asid, region);
+                self.publish_resize(asid, ResizeKind::Shrink, n, removed, current, mr, goal);
             }
             Decision::Hold => {}
         }
@@ -526,6 +649,7 @@ impl CacheModel for MolecularCache {
             ResizeEvent::AllPartitions => self.resize_all(),
             ResizeEvent::Partition(asid) => self.resize_one(asid),
         }
+        self.maybe_close_epoch();
         outcome
     }
 
@@ -553,6 +677,7 @@ impl CacheModel for MolecularCache {
                     ResizeEvent::AllPartitions => self.resize_all(),
                     ResizeEvent::Partition(a) => self.resize_one(a),
                 }
+                self.maybe_close_epoch();
                 i += 1;
             }
         }
@@ -570,6 +695,10 @@ impl CacheModel for MolecularCache {
     fn reset_stats(&mut self) {
         self.stats.reset();
         self.activity = Activity::default();
+        // Epoch time restarts with the counters it is derived from.
+        self.epoch_index = 0;
+        self.epoch_stats_base = CacheStats::new();
+        self.epoch_activity_base = Activity::default();
     }
 
     fn describe(&self) -> String {
@@ -600,7 +729,7 @@ impl MolecularCache {
             let region = self.regions.get_mut(&asid).expect("region");
             region.note_molecule_use(hit_mol, clock);
             region.record_access(false);
-            self.stats.record(asid, true, false);
+            self.stats.record(asid, true, false, base_latency);
             return AccessOutcome::hit(base_latency);
         }
 
@@ -619,7 +748,7 @@ impl MolecularCache {
                     let region = self.regions.get_mut(&asid).expect("region");
                     region.note_molecule_use(hit_mol, clock);
                     region.record_access(false);
-                    self.stats.record(asid, true, false);
+                    self.stats.record(asid, true, false, latency);
                     return AccessOutcome::hit(latency);
                 }
             }
@@ -660,7 +789,7 @@ impl MolecularCache {
         let Some(victim) = victim else {
             // No region molecules and no shared fallback: the request
             // bypasses the cache entirely.
-            self.stats.record(asid, false, false);
+            self.stats.record(asid, false, false, latency);
             return AccessOutcome {
                 hit: false,
                 latency,
@@ -670,7 +799,7 @@ impl MolecularCache {
         };
         self.molecules[victim.index()].record_replacement_miss();
         let writeback = self.fill_block(asid, victim, line, is_write);
-        self.stats.record(asid, false, writeback);
+        self.stats.record(asid, false, writeback, latency);
         AccessOutcome {
             hit: false,
             latency,
@@ -1236,6 +1365,92 @@ mod tests {
         assert_eq!(serial.activity(), batched.activity());
         assert_eq!(serial.snapshots(), batched.snapshots());
         assert_eq!(serial.resize_rounds(), batched.resize_rounds());
+    }
+
+    #[test]
+    fn telemetry_sink_observes_without_perturbing() {
+        use molcache_telemetry::{Recorder, Sink};
+        use std::sync::{Arc, Mutex};
+        let cfg = MolecularConfig::builder()
+            .molecule_size(1024)
+            .tile_molecules(8)
+            .tiles_per_cluster(2)
+            .clusters(1)
+            .initial_allocation(InitialAllocation::Molecules(1))
+            .trigger(ResizeTrigger::Constant { period: 200 })
+            .miss_rate_goal(0.05)
+            .build()
+            .unwrap();
+        let reqs: Vec<Request> = (0..2_000u64).map(|i| read(1, (i % 256) * 64)).collect();
+
+        let mut plain = MolecularCache::new(cfg.clone());
+        for req in &reqs {
+            plain.access(*req);
+        }
+
+        let recorder: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::new("t")));
+        let sink: Arc<Mutex<dyn Sink>> = recorder.clone();
+        let mut observed = MolecularCache::new(cfg).with_sink(SinkHandle::shared(sink, 500));
+        for req in &reqs {
+            observed.access(*req);
+        }
+
+        // Observation changes nothing the simulation can see.
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.activity(), observed.activity());
+        assert_eq!(plain.snapshots(), observed.snapshots());
+
+        let rec = recorder.lock().unwrap();
+        // 2000 accesses / 500-long epochs = 4 epoch records.
+        assert_eq!(rec.epochs().len(), 4);
+        let total: u64 = rec.epochs().iter().map(|e| e.accesses).sum();
+        assert_eq!(total, 2_000, "epoch activity deltas tile the run");
+        assert_eq!(rec.partitions().len(), 4, "one app, one sample per epoch");
+        let sampled: u64 = rec.partitions().iter().map(|s| s.accesses).sum();
+        assert_eq!(sampled, 2_000);
+        assert!(
+            rec.partitions().iter().all(|s| s.occupancy <= 1.0),
+            "occupancy is a fraction"
+        );
+        // The thrashing workload grows the partition: resize log non-empty,
+        // tagged with the constant trigger, sizes consistent.
+        assert!(!rec.resizes().is_empty());
+        for r in rec.resizes() {
+            assert_eq!(r.trigger, "constant");
+            match r.kind {
+                ResizeKind::Grow => assert_eq!(r.after, r.before + r.applied),
+                ResizeKind::Shrink => assert_eq!(r.after, r.before - r.applied),
+            }
+            assert!(r.applied <= r.requested);
+        }
+        let grew: usize = rec
+            .resizes()
+            .iter()
+            .filter(|r| r.kind == ResizeKind::Grow)
+            .map(|r| r.applied)
+            .sum();
+        assert!(grew > 0, "cold-start thrash must grow the partition");
+    }
+
+    #[test]
+    fn reset_stats_restarts_epoch_time() {
+        use molcache_telemetry::{Recorder, Sink};
+        use std::sync::{Arc, Mutex};
+        let recorder: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::new("t")));
+        let sink: Arc<Mutex<dyn Sink>> = recorder.clone();
+        let mut c = MolecularCache::new(small_config()).with_sink(SinkHandle::shared(sink, 100));
+        for i in 0..150u64 {
+            c.access(read(1, (i % 8) * 64));
+        }
+        c.reset_stats();
+        for i in 0..100u64 {
+            c.access(read(1, (i % 8) * 64));
+        }
+        let rec = recorder.lock().unwrap();
+        assert_eq!(rec.epochs().len(), 2);
+        assert_eq!(rec.epochs()[0].epoch, 0);
+        assert_eq!(rec.epochs()[1].epoch, 0, "epoch index restarts on reset");
+        assert_eq!(rec.epochs()[1].accesses, 100);
     }
 
     #[test]

@@ -28,6 +28,15 @@ pub enum ResizeTrigger {
 }
 
 impl ResizeTrigger {
+    /// Stable lowercase name, used to tag telemetry resize records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResizeTrigger::Constant { .. } => "constant",
+            ResizeTrigger::GlobalAdaptive { .. } => "global-adaptive",
+            ResizeTrigger::PerAppAdaptive { .. } => "per-app-adaptive",
+        }
+    }
+
     fn initial_period(&self) -> u64 {
         match *self {
             ResizeTrigger::Constant { period } => period,

@@ -94,9 +94,48 @@ pub fn series_chart(
     out
 }
 
+/// Renders a series as a one-line Unicode sparkline, scaled to the data
+/// range (flat series render as a mid-height line).
+///
+/// ```
+/// use molcache_metrics::chart::sparkline;
+/// assert_eq!(sparkline(&[0.0, 1.0]), "▁█");
+/// assert_eq!(sparkline(&[]), "");
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let max = finite.iter().cloned().fold(f64::MIN, f64::max);
+    let min = finite.iter().cloned().fold(f64::MAX, f64::min);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                '?'
+            } else if max == min {
+                LEVELS[3]
+            } else {
+                let level = ((v - min) / (max - min) * (LEVELS.len() - 1) as f64).round();
+                LEVELS[(level as usize).min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sparkline_scales_and_handles_edges() {
+        assert_eq!(sparkline(&[0.0, 0.5, 1.0]), "▁▅█");
+        assert_eq!(sparkline(&[2.0, 2.0, 2.0]), "▄▄▄");
+        assert_eq!(sparkline(&[1.0, f64::NAN]), "▄?");
+        assert_eq!(sparkline(&[]), "");
+    }
 
     #[test]
     fn bar_chart_scales_to_max() {

@@ -317,6 +317,117 @@ impl Parser<'_> {
     }
 }
 
+impl Value {
+    /// Serializes the value as pretty-printed JSON (2-space indent, the
+    /// same shape serde_json's pretty writer produces), such that
+    /// [`parse`]`(v.to_json()?) == v` for every representable value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tree contains a non-finite number (`NaN`,
+    /// `±inf`) — JSON has no representation for those, and silently
+    /// emitting `null` would break the round-trip guarantee.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0)?;
+        Ok(out)
+    }
+
+    /// Serializes the value on a single line with no whitespace.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite numbers, like [`Value::to_json`].
+    pub fn to_json_compact(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write_compact(&mut out)?;
+        Ok(out)
+    }
+
+    fn number_text(n: f64) -> Result<String, JsonError> {
+        if n.is_finite() {
+            Ok(format_f64(n))
+        } else {
+            Err(JsonError::new("non-finite number is not valid JSON", 0))
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) -> Result<(), JsonError> {
+        let pad = "  ".repeat(indent);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&Value::number_text(*n)?),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(&pad);
+                        out.push_str("  ");
+                        item.write_pretty(out, indent + 1)?;
+                        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&pad);
+                    out.push(']');
+                }
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                } else {
+                    out.push_str("{\n");
+                    for (i, (key, val)) in fields.iter().enumerate() {
+                        out.push_str(&pad);
+                        out.push_str("  ");
+                        escape_into(out, key);
+                        out.push_str(": ");
+                        val.write_pretty(out, indent + 1)?;
+                        out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&pad);
+                    out.push('}');
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_compact(&self, out: &mut String) -> Result<(), JsonError> {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&Value::number_text(*n)?),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out)?;
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (key, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    val.write_compact(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Appends `s` to `out` as a quoted JSON string with required escapes.
 pub fn escape_into(out: &mut String, s: &str) {
     out.push('"');
@@ -349,6 +460,7 @@ pub fn format_f64(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn parses_scalars() {
@@ -393,5 +505,137 @@ mod tests {
         assert_eq!(format_f64(2.0), "2.0");
         assert_eq!(format_f64(0.222), "0.222");
         assert_eq!(format_f64(1_000_000.0), "1000000.0");
+    }
+
+    #[test]
+    fn to_json_pretty_shape() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::Number(1.5)),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("e".into(), Value::Object(vec![])),
+        ]);
+        let expected = "{\n  \"n\": 1.5,\n  \"a\": [\n    true,\n    null\n  ],\n  \"e\": {}\n}";
+        assert_eq!(v.to_json().unwrap(), expected);
+        assert_eq!(
+            v.to_json_compact().unwrap(),
+            r#"{"n":1.5,"a":[true,null],"e":{}}"#
+        );
+    }
+
+    #[test]
+    fn to_json_rejects_non_finite_floats() {
+        assert!(Value::Number(f64::NAN).to_json().is_err());
+        assert!(Value::Number(f64::INFINITY).to_json_compact().is_err());
+        let nested = Value::Object(vec![(
+            "x".into(),
+            Value::Array(vec![Value::Number(f64::NEG_INFINITY)]),
+        )]);
+        assert!(nested.to_json().is_err());
+    }
+
+    #[test]
+    fn tricky_strings_round_trip() {
+        for s in [
+            "quote\" backslash\\ slash/ newline\n tab\t",
+            "control\u{0} \u{1f} high\u{7f}",
+            "unicode é 😀 \u{2028} \u{fffd}",
+            "",
+        ] {
+            let v = Value::String(s.into());
+            assert_eq!(parse(&v.to_json().unwrap()).unwrap(), v);
+        }
+    }
+
+    /// Deterministically expands one `u64` seed into an arbitrary JSON
+    /// value tree (depth-bounded), covering every variant plus the nasty
+    /// string and number corners.
+    fn arbitrary_value(seed: u64) -> Value {
+        // SplitMix64: cheap, and every step decorrelates from the seed.
+        struct Mix(u64);
+        impl Mix {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+        }
+
+        const CHARS: &[char] = &[
+            'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0}', '\u{1}', '\u{1f}',
+            '\u{7f}', 'é', 'λ', '😀', '\u{2028}', '\u{fffd}',
+        ];
+
+        fn gen_string(rng: &mut Mix) -> String {
+            let len = (rng.next() % 12) as usize;
+            (0..len)
+                .map(|_| CHARS[(rng.next() as usize) % CHARS.len()])
+                .collect()
+        }
+
+        fn gen_number(rng: &mut Mix) -> f64 {
+            match rng.next() % 4 {
+                0 => rng.next() as i32 as f64,                // integral, any sign
+                1 => (rng.next() % 1_000_000) as f64 / 997.0, // fractional
+                2 => f64::from_bits(rng.next() % (1 << 52)),  // subnormal-ish
+                _ => {
+                    // Arbitrary bit pattern, rerolled until finite.
+                    loop {
+                        let v = f64::from_bits(rng.next());
+                        if v.is_finite() {
+                            return v;
+                        }
+                    }
+                }
+            }
+        }
+
+        fn gen_value(rng: &mut Mix, depth: u32) -> Value {
+            let pick = if depth == 0 {
+                rng.next() % 4 // leaves only
+            } else {
+                rng.next() % 6
+            };
+            match pick {
+                0 => Value::Null,
+                1 => Value::Bool(rng.next().is_multiple_of(2)),
+                2 => Value::Number(gen_number(rng)),
+                3 => Value::String(gen_string(rng)),
+                4 => {
+                    let len = (rng.next() % 4) as usize;
+                    Value::Array((0..len).map(|_| gen_value(rng, depth - 1)).collect())
+                }
+                _ => {
+                    let len = (rng.next() % 4) as usize;
+                    Value::Object(
+                        (0..len)
+                            .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                            .collect(),
+                    )
+                }
+            }
+        }
+
+        let mut rng = Mix(seed);
+        gen_value(&mut rng, 4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// `parse(to_json(x)) == x` for arbitrary value trees, in both the
+        /// pretty and the compact rendering.
+        #[test]
+        fn serializer_round_trips(seed in proptest::num::u64::ANY) {
+            let v = arbitrary_value(seed);
+            let pretty = v.to_json().expect("finite by construction");
+            prop_assert_eq!(&parse(&pretty).unwrap(), &v);
+            let compact = v.to_json_compact().expect("finite by construction");
+            prop_assert_eq!(&parse(&compact).unwrap(), &v);
+        }
     }
 }

@@ -5,33 +5,43 @@
 //! shared cache and reports per-application miss rates — the measurement
 //! behind Table 1, Figure 5 and Table 2.
 
-use crate::model::{CacheModel, Request};
+use crate::model::{AccessObserver, CacheModel, Request};
 use crate::stats::CacheStats;
 use molcache_trace::gen::{BoxedSource, TraceSource};
 use molcache_trace::interleave::Workload;
 use molcache_trace::{Asid, MemAccess};
 
 /// Result of driving a trace through a cache.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// A thin view over the [`CacheStats`] delta of the run window: access,
+/// latency and miss totals all live in the per-window [`AppStats`]
+/// counters, so there are no parallel copies to keep in sync.
+///
+/// [`AppStats`]: crate::stats::AppStats
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunSummary {
     /// Global counters for the run window.
     pub global: crate::stats::AppStats,
     /// Per-application counters for the run window.
     pub per_app: std::collections::BTreeMap<Asid, crate::stats::AppStats>,
-    /// Total latency accumulated across all accesses (cycles).
-    pub total_latency: u64,
-    /// Accesses driven.
-    pub accesses: u64,
 }
 
 impl RunSummary {
-    fn from_stats(stats: &CacheStats, total_latency: u64) -> Self {
+    fn from_stats(stats: &CacheStats) -> Self {
         RunSummary {
             global: stats.global,
             per_app: stats.per_app.clone(),
-            total_latency,
-            accesses: stats.global.accesses,
         }
+    }
+
+    /// Accesses driven in this window.
+    pub fn accesses(&self) -> u64 {
+        self.global.accesses
+    }
+
+    /// Total latency accumulated across all accesses (cycles).
+    pub fn total_latency(&self) -> u64 {
+        self.global.total_latency
     }
 
     /// Miss rate of one application in this window (0.0 if absent).
@@ -44,11 +54,7 @@ impl RunSummary {
 
     /// Average latency per access in cycles.
     pub fn avg_latency(&self) -> f64 {
-        if self.accesses == 0 {
-            0.0
-        } else {
-            self.total_latency as f64 / self.accesses as f64
-        }
+        self.global.avg_latency()
     }
 }
 
@@ -67,7 +73,6 @@ where
     F: FnMut() -> Option<MemAccess>,
 {
     let before = cache.stats().clone();
-    let mut total_latency = 0u64;
     let mut driven = 0u64;
     let mut buf: Vec<Request> = Vec::with_capacity(DRIVE_BATCH);
     while driven < limit {
@@ -84,11 +89,33 @@ where
         if buf.is_empty() {
             break;
         }
-        let out = cache.access_batch(&buf);
-        total_latency += out.total_latency;
+        cache.access_batch(&buf);
         driven += buf.len() as u64;
     }
-    RunSummary::from_stats(&cache.stats().since(&before), total_latency)
+    RunSummary::from_stats(&cache.stats().since(&before))
+}
+
+/// Per-access variant of [`drive_batched`] that reports every request and
+/// outcome to `obs`. The batch contract guarantees the two drivers
+/// produce bit-identical caches and summaries, so observation never
+/// changes what is measured — it only costs the per-access dispatch the
+/// batched path amortizes away.
+fn drive_observed<C, F, O>(cache: &mut C, limit: u64, mut next: F, obs: &mut O) -> RunSummary
+where
+    C: CacheModel + ?Sized,
+    F: FnMut() -> Option<MemAccess>,
+    O: AccessObserver + ?Sized,
+{
+    let before = cache.stats().clone();
+    let mut driven = 0u64;
+    while driven < limit {
+        let Some(acc) = next() else { break };
+        let req = Request::from(acc);
+        let out = cache.access(req);
+        obs.on_access(&req, &out);
+        driven += 1;
+    }
+    RunSummary::from_stats(&cache.stats().since(&before))
 }
 
 /// Drives up to `limit` accesses from an iterator of [`MemAccess`] through
@@ -102,6 +129,22 @@ where
     drive_batched(cache, limit, || it.next())
 }
 
+/// Like [`run_accesses`], but reports every access to `obs`.
+pub fn run_accesses_observed<I, C, O>(
+    accesses: I,
+    cache: &mut C,
+    limit: u64,
+    obs: &mut O,
+) -> RunSummary
+where
+    I: IntoIterator<Item = MemAccess>,
+    C: CacheModel + ?Sized,
+    O: AccessObserver + ?Sized,
+{
+    let mut it = accesses.into_iter();
+    drive_observed(cache, limit, || it.next(), obs)
+}
+
 /// Drives a single application's stream through `cache`.
 pub fn run_source<S, C>(mut source: S, cache: &mut C, limit: u64) -> RunSummary
 where
@@ -109,6 +152,21 @@ where
     C: CacheModel + ?Sized,
 {
     drive_batched(cache, limit, || source.next_access())
+}
+
+/// Like [`run_source`], but reports every access to `obs`.
+pub fn run_source_observed<S, C, O>(
+    mut source: S,
+    cache: &mut C,
+    limit: u64,
+    obs: &mut O,
+) -> RunSummary
+where
+    S: TraceSource,
+    C: CacheModel + ?Sized,
+    O: AccessObserver + ?Sized,
+{
+    drive_observed(cache, limit, || source.next_access(), obs)
 }
 
 /// Runs a multiprogrammed workload round-robin on a shared cache — the
@@ -129,10 +187,35 @@ where
     Ok(run_accesses(workload.round_robin(), cache, limit))
 }
 
+/// Like [`run_shared`], but reports every access to `obs`.
+///
+/// # Errors
+///
+/// Propagates [`molcache_trace::TraceError`] from workload construction.
+pub fn run_shared_observed<C, O>(
+    sources: Vec<BoxedSource>,
+    cache: &mut C,
+    limit: u64,
+    obs: &mut O,
+) -> Result<RunSummary, molcache_trace::TraceError>
+where
+    C: CacheModel + ?Sized,
+    O: AccessObserver + ?Sized,
+{
+    let workload = Workload::new(sources)?;
+    Ok(run_accesses_observed(
+        workload.round_robin(),
+        cache,
+        limit,
+        obs,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::CacheConfig;
+    use crate::model::AccessOutcome;
     use crate::set_assoc::SetAssocCache;
     use molcache_trace::gen::StrideSource;
     use molcache_trace::presets::Benchmark;
@@ -144,7 +227,7 @@ mod tests {
         let mut cache = SetAssocCache::lru(cfg);
         let src = StrideSource::new(Asid::new(1), Address::new(0), 32 * 1024, 64, 0.0, 1);
         let first = run_source(src, &mut cache, 1_000);
-        assert_eq!(first.accesses, 1_000);
+        assert_eq!(first.accesses(), 1_000);
         // Second window over the now-resident set: all hits.
         let src2 = StrideSource::new(Asid::new(1), Address::new(0), 32 * 1024, 64, 0.0, 1);
         let second = run_source(src2, &mut cache, 512);
@@ -194,9 +277,45 @@ mod tests {
             let acc = src.next_access().unwrap();
             total_latency += u64::from(serial.access(Request::from(acc)).latency);
         }
-        assert_eq!(summary.accesses, LIMIT);
-        assert_eq!(summary.total_latency, total_latency);
+        assert_eq!(summary.accesses(), LIMIT);
+        assert_eq!(summary.total_latency(), total_latency);
         assert_eq!(serial.stats(), batched.stats());
+    }
+
+    #[test]
+    fn observed_driver_matches_batched_and_sees_every_access() {
+        const LIMIT: u64 = 2_500;
+        let cfg = CacheConfig::new(64 * 1024, 4, 64).unwrap();
+
+        let mut batched = SetAssocCache::lru(cfg);
+        let plain = run_source(Benchmark::Mcf.source(Asid::new(1), 9), &mut batched, LIMIT);
+
+        struct Counting {
+            events: u64,
+            latency: u64,
+        }
+        impl AccessObserver for Counting {
+            fn on_access(&mut self, _req: &Request, out: &AccessOutcome) {
+                self.events += 1;
+                self.latency += u64::from(out.latency);
+            }
+        }
+        let mut obs = Counting {
+            events: 0,
+            latency: 0,
+        };
+        let mut observed = SetAssocCache::lru(cfg);
+        let seen = run_source_observed(
+            Benchmark::Mcf.source(Asid::new(1), 9),
+            &mut observed,
+            LIMIT,
+            &mut obs,
+        );
+
+        assert_eq!(plain, seen);
+        assert_eq!(observed.stats(), batched.stats());
+        assert_eq!(obs.events, LIMIT);
+        assert_eq!(obs.latency, seen.total_latency());
     }
 
     #[test]
@@ -205,7 +324,7 @@ mod tests {
         let mut cache = SetAssocCache::lru(cfg);
         let src = StrideSource::new(Asid::new(1), Address::new(0), 1024, 64, 0.0, 1);
         let s = run_source(src, &mut cache, 0);
-        assert_eq!(s.accesses, 0);
+        assert_eq!(s.accesses(), 0);
         assert_eq!(s.avg_latency(), 0.0);
         assert_eq!(s.app_miss_rate(Asid::new(1)), 0.0);
     }

@@ -59,7 +59,7 @@ mod tests {
         let summary =
             run_with_private_l1s(vec![mk(1, 0), mk(2, 1 << 30)], None, &mut l2, u64::MAX).unwrap();
         // 128 lines per app -> 256 L2 references total.
-        assert_eq!(summary.accesses, 256);
+        assert_eq!(summary.accesses(), 256);
         assert_eq!(summary.global.misses, 256, "L2 cold misses only");
     }
 

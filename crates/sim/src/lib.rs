@@ -46,6 +46,8 @@ pub mod stats;
 
 pub use config::CacheConfig;
 pub use error::SimError;
-pub use model::{AccessOutcome, Activity, BatchOutcome, CacheModel, Request};
+pub use model::{
+    AccessObserver, AccessOutcome, Activity, BatchOutcome, CacheModel, NullObserver, Request,
+};
 pub use set_assoc::SetAssocCache;
 pub use stats::{AppStats, CacheStats};

@@ -187,6 +187,30 @@ pub trait CacheModel {
     fn describe(&self) -> String;
 }
 
+/// Observes every serviced access — the publish point telemetry layers
+/// hook into.
+///
+/// The observed drivers in [`crate::cmp`] call
+/// [`on_access`](AccessObserver::on_access) once per request with the
+/// request and its outcome, in trace order. Implementations live above
+/// this crate (e.g. `molcache-telemetry`'s recorder builds latency
+/// histograms from these events); the simulator itself only defines the
+/// hook so that observation never disturbs what is measured.
+pub trait AccessObserver {
+    /// Called after `req` was serviced with outcome `out`.
+    fn on_access(&mut self, req: &Request, out: &AccessOutcome);
+}
+
+/// Ignores every event; drivers observed by it behave like unobserved
+/// ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl AccessObserver for NullObserver {
+    #[inline]
+    fn on_access(&mut self, _req: &Request, _out: &AccessOutcome) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -96,7 +96,8 @@ impl CacheModel for ColumnCache {
                 slots[way].dirty = true;
             }
             self.policies[set].on_hit(way);
-            self.stats.record(req.asid, true, false);
+            self.stats
+                .record(req.asid, true, false, self.cfg.hit_latency());
             return AccessOutcome::hit(self.cfg.hit_latency());
         }
 
@@ -121,7 +122,12 @@ impl CacheModel for ColumnCache {
         if writeback {
             self.activity.writebacks += 1;
         }
-        self.stats.record(req.asid, false, writeback);
+        self.stats.record(
+            req.asid,
+            false,
+            writeback,
+            self.cfg.hit_latency() + self.cfg.miss_penalty(),
+        );
         AccessOutcome::miss(self.cfg.hit_latency() + self.cfg.miss_penalty(), writeback)
     }
 
@@ -207,7 +213,8 @@ impl CacheModel for ModifiedLruCache {
                 slots[way].dirty = true;
             }
             self.policies[set].on_hit(way);
-            self.stats.record(req.asid, true, false);
+            self.stats
+                .record(req.asid, true, false, self.cfg.hit_latency());
             return AccessOutcome::hit(self.cfg.hit_latency());
         }
 
@@ -229,7 +236,12 @@ impl CacheModel for ModifiedLruCache {
                 .map(|(i, _)| i)
                 .collect();
             if own.is_empty() {
-                self.stats.record(req.asid, false, false);
+                self.stats.record(
+                    req.asid,
+                    false,
+                    false,
+                    self.cfg.hit_latency() + self.cfg.miss_penalty(),
+                );
                 return AccessOutcome {
                     hit: false,
                     latency: self.cfg.hit_latency() + self.cfg.miss_penalty(),
@@ -263,7 +275,12 @@ impl CacheModel for ModifiedLruCache {
         if writeback {
             self.activity.writebacks += 1;
         }
-        self.stats.record(req.asid, false, writeback);
+        self.stats.record(
+            req.asid,
+            false,
+            writeback,
+            self.cfg.hit_latency() + self.cfg.miss_penalty(),
+        );
         AccessOutcome::miss(self.cfg.hit_latency() + self.cfg.miss_penalty(), writeback)
     }
 

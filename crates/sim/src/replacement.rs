@@ -264,4 +264,54 @@ mod tests {
         assert_eq!(Policy::Lru.to_string(), "LRU");
         assert_eq!(Policy::PlruTree.to_string(), "PLRU");
     }
+
+    use proptest::prelude::*;
+
+    fn policy_from(tag: u8) -> Policy {
+        match tag % 4 {
+            0 => Policy::Lru,
+            1 => Policy::Fifo,
+            2 => Policy::Random,
+            _ => Policy::PlruTree,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// After any interleaving of hits and fills, every policy's victim
+        /// is a valid way index, and `victim_among` only ever picks from
+        /// the allowed subset.
+        #[test]
+        fn victims_stay_in_bounds(
+            tag in 0u8..4,
+            ways_log2 in 0u8..4,
+            ops in proptest::collection::vec(
+                (proptest::bool::ANY, proptest::num::u64::ANY), 0..64),
+            seed in proptest::num::u64::ANY,
+            allowed_mask in proptest::num::u64::ANY,
+        ) {
+            let policy = policy_from(tag);
+            let ways = 1usize << ways_log2; // power of two so PLRU is legal
+            let mut p = SetPolicy::new(policy, ways);
+            let mut rng = Rng::seeded(seed | 1);
+            for (is_hit, way) in ops {
+                let way = (way % ways as u64) as usize;
+                if is_hit {
+                    p.on_hit(way);
+                } else {
+                    p.on_fill(way);
+                }
+            }
+
+            let v = p.victim(&mut rng);
+            prop_assert!(v < ways, "victim {v} out of {ways} ways");
+
+            let allowed: Vec<usize> =
+                (0..ways).filter(|w| allowed_mask & (1 << w) != 0).collect();
+            prop_assume!(!allowed.is_empty());
+            let v = p.victim_among(&allowed, &mut rng);
+            prop_assert!(allowed.contains(&v), "victim {v} not in {allowed:?}");
+        }
+    }
 }

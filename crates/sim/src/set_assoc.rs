@@ -141,13 +141,19 @@ impl CacheModel for SetAssocCache {
                 slots[way].dirty = true;
             }
             self.policies[set].on_hit(way);
-            self.stats.record(req.asid, true, false);
+            self.stats
+                .record(req.asid, true, false, self.cfg.hit_latency());
             return AccessOutcome::hit(self.cfg.hit_latency());
         }
 
         // Store miss under no-write-allocate: forward without installing.
         if req.kind.is_write() && self.cfg.write_miss_policy() == WriteMissPolicy::NoWriteAllocate {
-            self.stats.record(req.asid, false, false);
+            self.stats.record(
+                req.asid,
+                false,
+                false,
+                self.cfg.hit_latency() + self.cfg.miss_penalty(),
+            );
             return AccessOutcome {
                 hit: false,
                 latency: self.cfg.hit_latency() + self.cfg.miss_penalty(),
@@ -173,7 +179,12 @@ impl CacheModel for SetAssocCache {
         if writeback {
             self.activity.writebacks += 1;
         }
-        self.stats.record(req.asid, false, writeback);
+        self.stats.record(
+            req.asid,
+            false,
+            writeback,
+            self.cfg.hit_latency() + self.cfg.miss_penalty(),
+        );
         AccessOutcome::miss(self.cfg.hit_latency() + self.cfg.miss_penalty(), writeback)
     }
 

@@ -14,6 +14,8 @@ pub struct AppStats {
     pub misses: u64,
     /// Dirty evictions caused.
     pub writebacks: u64,
+    /// Latency accumulated across all references (cycles).
+    pub total_latency: u64,
 }
 
 impl AppStats {
@@ -35,15 +37,25 @@ impl AppStats {
         }
     }
 
+    /// Average latency per access in cycles (`0.0` when empty).
+    pub fn avg_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.accesses as f64
+        }
+    }
+
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &AppStats) {
         self.accesses += other.accesses;
         self.hits += other.hits;
         self.misses += other.misses;
         self.writebacks += other.writebacks;
+        self.total_latency += other.total_latency;
     }
 
-    fn record(&mut self, hit: bool, writeback: bool) {
+    fn record(&mut self, hit: bool, writeback: bool, latency: u32) {
         self.accesses += 1;
         if hit {
             self.hits += 1;
@@ -53,6 +65,7 @@ impl AppStats {
         if writeback {
             self.writebacks += 1;
         }
+        self.total_latency += u64::from(latency);
     }
 }
 
@@ -74,10 +87,13 @@ impl CacheStats {
         CacheStats::default()
     }
 
-    /// Records one access outcome for `asid`.
-    pub fn record(&mut self, asid: Asid, hit: bool, writeback: bool) {
-        self.global.record(hit, writeback);
-        self.per_app.entry(asid).or_default().record(hit, writeback);
+    /// Records one access outcome for `asid` with its service latency.
+    pub fn record(&mut self, asid: Asid, hit: bool, writeback: bool, latency: u32) {
+        self.global.record(hit, writeback, latency);
+        self.per_app
+            .entry(asid)
+            .or_default()
+            .record(hit, writeback, latency);
     }
 
     /// Returns the stats of one application (zeroes if never seen).
@@ -98,12 +114,14 @@ impl CacheStats {
         delta.global.hits -= earlier.global.hits;
         delta.global.misses -= earlier.global.misses;
         delta.global.writebacks -= earlier.global.writebacks;
+        delta.global.total_latency -= earlier.global.total_latency;
         for (asid, prev) in &earlier.per_app {
             if let Some(cur) = delta.per_app.get_mut(asid) {
                 cur.accesses -= prev.accesses;
                 cur.hits -= prev.hits;
                 cur.misses -= prev.misses;
                 cur.writebacks -= prev.writebacks;
+                cur.total_latency -= prev.total_latency;
             }
         }
         delta
@@ -117,13 +135,15 @@ mod tests {
     #[test]
     fn record_updates_global_and_app() {
         let mut s = CacheStats::new();
-        s.record(Asid::new(1), true, false);
-        s.record(Asid::new(1), false, true);
-        s.record(Asid::new(2), false, false);
+        s.record(Asid::new(1), true, false, 10);
+        s.record(Asid::new(1), false, true, 110);
+        s.record(Asid::new(2), false, false, 110);
         assert_eq!(s.global.accesses, 3);
         assert_eq!(s.global.misses, 2);
         assert_eq!(s.global.writebacks, 1);
+        assert_eq!(s.global.total_latency, 230);
         assert_eq!(s.app(Asid::new(1)).hits, 1);
+        assert_eq!(s.app(Asid::new(1)).total_latency, 120);
         assert_eq!(s.app(Asid::new(2)).misses, 1);
         assert_eq!(s.app(Asid::new(3)), AppStats::default());
     }
@@ -132,22 +152,25 @@ mod tests {
     fn miss_rate_handles_zero() {
         assert_eq!(AppStats::default().miss_rate(), 0.0);
         assert_eq!(AppStats::default().hit_rate(), 0.0);
+        assert_eq!(AppStats::default().avg_latency(), 0.0);
         let mut s = AppStats::default();
-        s.record(false, false);
-        s.record(true, false);
+        s.record(false, false, 100);
+        s.record(true, false, 10);
         assert!((s.miss_rate() - 0.5).abs() < 1e-12);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.avg_latency() - 55.0).abs() < 1e-12);
     }
 
     #[test]
     fn since_computes_delta() {
         let mut s = CacheStats::new();
-        s.record(Asid::new(1), false, false);
+        s.record(Asid::new(1), false, false, 100);
         let snapshot = s.clone();
-        s.record(Asid::new(1), true, false);
-        s.record(Asid::new(1), true, false);
+        s.record(Asid::new(1), true, false, 10);
+        s.record(Asid::new(1), true, false, 10);
         let delta = s.since(&snapshot);
         assert_eq!(delta.global.accesses, 2);
+        assert_eq!(delta.global.total_latency, 20);
         assert_eq!(delta.app(Asid::new(1)).hits, 2);
         assert_eq!(delta.app(Asid::new(1)).misses, 0);
     }
@@ -159,23 +182,26 @@ mod tests {
             hits: 1,
             misses: 0,
             writebacks: 0,
+            total_latency: 10,
         };
         let b = AppStats {
             accesses: 3,
             hits: 1,
             misses: 2,
             writebacks: 1,
+            total_latency: 230,
         };
         a.merge(&b);
         assert_eq!(a.accesses, 4);
         assert_eq!(a.misses, 2);
         assert_eq!(a.writebacks, 1);
+        assert_eq!(a.total_latency, 240);
     }
 
     #[test]
     fn reset_clears() {
         let mut s = CacheStats::new();
-        s.record(Asid::new(1), true, false);
+        s.record(Asid::new(1), true, false, 10);
         s.reset();
         assert_eq!(s, CacheStats::default());
     }

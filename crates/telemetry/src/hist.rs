@@ -1,0 +1,204 @@
+//! Log2-bucketed latency histograms.
+
+/// A latency histogram with power-of-two buckets.
+///
+/// Bucket 0 counts zero-cycle latencies; bucket `b > 0` counts latencies
+/// in `[2^(b-1), 2^b - 1]`. 33 buckets cover the full `u32` latency
+/// domain, so recording never saturates or drops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; Self::BUCKETS],
+    total: u64,
+    sum: u64,
+    max: u32,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; Self::BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of buckets (bucket 0 plus one per bit of `u32`).
+    pub const BUCKETS: usize = 33;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// The bucket a latency value falls into.
+    pub fn bucket_of(latency: u32) -> usize {
+        (32 - latency.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket.
+    pub fn bucket_bound(bucket: usize) -> u32 {
+        if bucket == 0 {
+            0
+        } else {
+            // Bucket 32's bound is u32::MAX; (1 << 32) would overflow.
+            (((1u64 << bucket) - 1) as u32).max(1)
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: u32) {
+        self.counts[Self::bucket_of(latency)] += 1;
+        self.total += 1;
+        self.sum += u64::from(latency);
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed latencies (cycles).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observed latency (0 when empty).
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Mean latency (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts, index 0 first.
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`); 0 when empty. A log2 histogram cannot resolve
+    /// quantiles below bucket granularity, so this is the conservative
+    /// (upper) estimate.
+    pub fn quantile(&self, q: f64) -> u32 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_bound(bucket).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_mapping() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(255), 8);
+        assert_eq!(LatencyHistogram::bucket_of(256), 9);
+        assert_eq!(LatencyHistogram::bucket_of(u32::MAX), 32);
+        assert_eq!(LatencyHistogram::bucket_bound(0), 0);
+        assert_eq!(LatencyHistogram::bucket_bound(1), 1);
+        assert_eq!(LatencyHistogram::bucket_bound(2), 3);
+        assert_eq!(LatencyHistogram::bucket_bound(9), 511);
+        assert_eq!(LatencyHistogram::bucket_bound(32), u32::MAX);
+    }
+
+    #[test]
+    fn record_and_summarize() {
+        let mut h = LatencyHistogram::new();
+        for lat in [10, 10, 10, 110] {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 140);
+        assert_eq!(h.max(), 110);
+        assert!((h.mean() - 35.0).abs() < 1e-12);
+        // Three of four observations are in the [8,15] bucket.
+        assert_eq!(h.buckets()[4], 3);
+        assert_eq!(h.quantile(0.5), 15);
+        // The tail quantile is clamped to the observed max.
+        assert_eq!(h.quantile(1.0), 110);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        let mut b = LatencyHistogram::new();
+        b.record(200);
+        b.record(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 210);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.buckets()[0], 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every observation lands in exactly one bucket whose bounds
+        /// contain it, and quantiles never exceed the observed maximum.
+        #[test]
+        fn buckets_partition_the_domain(
+            lats in proptest::collection::vec(proptest::num::u64::ANY, 1..50),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &l in &lats {
+                let l = l as u32;
+                let b = LatencyHistogram::bucket_of(l);
+                prop_assert!(l <= LatencyHistogram::bucket_bound(b));
+                if b > 0 {
+                    prop_assert!(u64::from(l) >= (1u64 << (b - 1)));
+                }
+                h.record(l);
+            }
+            prop_assert_eq!(h.count(), lats.len() as u64);
+            prop_assert_eq!(h.buckets().iter().sum::<u64>(), lats.len() as u64);
+            prop_assert!(h.quantile(0.5) <= h.max());
+            prop_assert!(h.quantile(1.0) <= h.max());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The `Sink` trait and the shareable handle publishers hold.
+
+use crate::event::Event;
+use molcache_sim::{AccessObserver, AccessOutcome, Request};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of telemetry events.
+///
+/// `Send` so a sink can ride inside a cache that crosses threads (the
+/// bench `Engine` moves experiment points between workers).
+pub trait Sink: Send {
+    /// Consumes one event.
+    fn record(&mut self, event: &Event<'_>);
+}
+
+/// A sink that drops every event.
+///
+/// The default: publishers short-circuit on [`SinkHandle::null`] before
+/// building any event, so an unobserved cache does no telemetry work at
+/// all beyond one pointer null-check per publish site.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    #[inline]
+    fn record(&mut self, _event: &Event<'_>) {}
+}
+
+/// The handle a publisher (cache, driver, harness) holds.
+///
+/// Cloning shares the underlying sink — a cache and the driver observing
+/// it can publish into the same recorder. The disabled handle
+/// ([`SinkHandle::null`]) holds no sink at all; [`SinkHandle::is_enabled`]
+/// is the zero-overhead fast path publishers check before doing any work.
+#[derive(Clone, Default)]
+pub struct SinkHandle {
+    inner: Option<Arc<Mutex<dyn Sink>>>,
+    epoch_length: u64,
+}
+
+impl SinkHandle {
+    /// Epoch length used when none is given: fine enough to see resize
+    /// dynamics (windows are ~25K accesses), coarse enough to keep
+    /// time-series small.
+    pub const DEFAULT_EPOCH_LENGTH: u64 = 10_000;
+
+    /// The disabled handle (no sink, nothing published).
+    pub fn null() -> Self {
+        SinkHandle {
+            inner: None,
+            epoch_length: Self::DEFAULT_EPOCH_LENGTH,
+        }
+    }
+
+    /// A handle publishing into `sink`, closing an epoch every
+    /// `epoch_length` accesses (0 falls back to the default length).
+    pub fn new<S: Sink + 'static>(sink: S, epoch_length: u64) -> Self {
+        SinkHandle::shared(Arc::new(Mutex::new(sink)), epoch_length)
+    }
+
+    /// A handle around an already-shared sink (e.g. a recorder the caller
+    /// keeps a reference to, to read results back out).
+    pub fn shared(sink: Arc<Mutex<dyn Sink>>, epoch_length: u64) -> Self {
+        SinkHandle {
+            inner: Some(sink),
+            epoch_length: if epoch_length == 0 {
+                Self::DEFAULT_EPOCH_LENGTH
+            } else {
+                epoch_length
+            },
+        }
+    }
+
+    /// Whether a sink is attached. Publishers gate all event construction
+    /// on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Accesses per epoch.
+    pub fn epoch_length(&self) -> u64 {
+        self.epoch_length
+    }
+
+    /// Delivers one event to the sink (no-op when disabled).
+    pub fn emit(&self, event: Event<'_>) {
+        if let Some(sink) = &self.inner {
+            sink.lock().expect("telemetry sink lock").record(&event);
+        }
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.is_enabled())
+            .field("epoch_length", &self.epoch_length)
+            .finish()
+    }
+}
+
+/// Driving a cache with the handle as observer feeds per-access events
+/// (and thus the latency histograms) into the same sink the cache
+/// publishes its epoch samples to.
+impl AccessObserver for SinkHandle {
+    fn on_access(&mut self, req: &Request, out: &AccessOutcome) {
+        self.emit(Event::Access {
+            asid: req.asid,
+            hit: out.hit,
+            latency: out.latency,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molcache_trace::{AccessKind, Address, Asid};
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct Counting(Arc<AtomicU64>);
+    impl Sink for Counting {
+        fn record(&mut self, _event: &Event<'_>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn null_handle_is_disabled() {
+        let h = SinkHandle::null();
+        assert!(!h.is_enabled());
+        assert_eq!(h.epoch_length(), SinkHandle::DEFAULT_EPOCH_LENGTH);
+        // Emitting into the void is a no-op, not a panic.
+        h.emit(Event::Access {
+            asid: Asid::new(1),
+            hit: true,
+            latency: 1,
+        });
+    }
+
+    #[test]
+    fn shared_handle_delivers_and_clones_share() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = SinkHandle::new(Counting(Arc::clone(&hits)), 500);
+        assert!(h.is_enabled());
+        assert_eq!(h.epoch_length(), 500);
+        let h2 = h.clone();
+        for handle in [&h, &h2] {
+            handle.emit(Event::Access {
+                asid: Asid::new(1),
+                hit: false,
+                latency: 100,
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 2, "clones share one sink");
+    }
+
+    #[test]
+    fn observer_impl_forwards_latency() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = SinkHandle::new(Counting(Arc::clone(&hits)), 0);
+        assert_eq!(h.epoch_length(), SinkHandle::DEFAULT_EPOCH_LENGTH);
+        let mut obs = h.clone();
+        let req = Request {
+            asid: Asid::new(2),
+            addr: Address::new(64),
+            kind: AccessKind::Read,
+        };
+        obs.on_access(&req, &AccessOutcome::hit(12));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

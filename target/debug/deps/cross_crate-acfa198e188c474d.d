@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_crate-acfa198e188c474d.d: tests/cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_crate-acfa198e188c474d.rmeta: tests/cross_crate.rs Cargo.toml
+
+tests/cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

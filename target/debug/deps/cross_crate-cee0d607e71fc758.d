@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-cee0d607e71fc758.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-cee0d607e71fc758: tests/cross_crate.rs
+
+tests/cross_crate.rs:

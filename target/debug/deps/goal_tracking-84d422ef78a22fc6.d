@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/goal_tracking-84d422ef78a22fc6.d: tests/goal_tracking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgoal_tracking-84d422ef78a22fc6.rmeta: tests/goal_tracking.rs Cargo.toml
+
+tests/goal_tracking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/goal_tracking-dee810a876ca1c0d.d: tests/goal_tracking.rs
+
+/root/repo/target/debug/deps/goal_tracking-dee810a876ca1c0d: tests/goal_tracking.rs
+
+tests/goal_tracking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interference-0ba9836ae77174fa.d: tests/interference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterference-0ba9836ae77174fa.rmeta: tests/interference.rs Cargo.toml
+
+tests/interference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interference-6cf7bc13298421d8.d: tests/interference.rs
+
+/root/repo/target/debug/deps/interference-6cf7bc13298421d8: tests/interference.rs
+
+tests/interference.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/molcache_core-0d145b9a0ec8017c.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+/root/repo/target/debug/deps/libmolcache_core-0d145b9a0ec8017c.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+/root/repo/target/debug/deps/libmolcache_core-0d145b9a0ec8017c.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/molecule.rs:
+crates/core/src/region.rs:
+crates/core/src/region_table.rs:
+crates/core/src/resize.rs:
+crates/core/src/stats.rs:
+crates/core/src/tile.rs:

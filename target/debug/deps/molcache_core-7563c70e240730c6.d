@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/molcache_core-7563c70e240730c6.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolcache_core-7563c70e240730c6.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/molecule.rs:
+crates/core/src/region.rs:
+crates/core/src/region_table.rs:
+crates/core/src/resize.rs:
+crates/core/src/stats.rs:
+crates/core/src/tile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/molcache_core-856e3b02cb7e5d4b.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+/root/repo/target/debug/deps/molcache_core-856e3b02cb7e5d4b: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/molecule.rs:
+crates/core/src/region.rs:
+crates/core/src/region_table.rs:
+crates/core/src/resize.rs:
+crates/core/src/stats.rs:
+crates/core/src/tile.rs:

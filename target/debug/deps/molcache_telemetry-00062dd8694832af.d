@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/molcache_telemetry-00062dd8694832af.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/debug/deps/libmolcache_telemetry-00062dd8694832af.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/debug/deps/libmolcache_telemetry-00062dd8694832af.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:

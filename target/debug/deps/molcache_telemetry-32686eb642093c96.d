@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/molcache_telemetry-32686eb642093c96.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolcache_telemetry-32686eb642093c96.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molcache_telemetry-9b4b4f86eec3fafb.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/debug/deps/molcache_telemetry-9b4b4f86eec3fafb: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:

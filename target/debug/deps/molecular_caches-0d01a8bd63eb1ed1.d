@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/molecular_caches-0d01a8bd63eb1ed1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmolecular_caches-0d01a8bd63eb1ed1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmolecular_caches-0d01a8bd63eb1ed1.rmeta: src/lib.rs
+
+src/lib.rs:

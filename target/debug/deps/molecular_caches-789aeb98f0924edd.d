@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molecular_caches-789aeb98f0924edd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolecular_caches-789aeb98f0924edd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

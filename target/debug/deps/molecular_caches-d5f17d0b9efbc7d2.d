@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molecular_caches-d5f17d0b9efbc7d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/molecular_caches-d5f17d0b9efbc7d2: src/lib.rs
+
+src/lib.rs:

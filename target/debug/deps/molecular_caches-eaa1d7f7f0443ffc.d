@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molecular_caches-eaa1d7f7f0443ffc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolecular_caches-eaa1d7f7f0443ffc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molsim-39a879bb6aa0ccf1.d: crates/bench/src/bin/molsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolsim-39a879bb6aa0ccf1.rmeta: crates/bench/src/bin/molsim.rs Cargo.toml
+
+crates/bench/src/bin/molsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

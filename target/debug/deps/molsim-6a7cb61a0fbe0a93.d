@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molsim-6a7cb61a0fbe0a93.d: crates/bench/src/bin/molsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolsim-6a7cb61a0fbe0a93.rmeta: crates/bench/src/bin/molsim.rs Cargo.toml
+
+crates/bench/src/bin/molsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

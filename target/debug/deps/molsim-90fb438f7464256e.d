@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molsim-90fb438f7464256e.d: crates/bench/src/bin/molsim.rs
+
+/root/repo/target/debug/deps/molsim-90fb438f7464256e: crates/bench/src/bin/molsim.rs
+
+crates/bench/src/bin/molsim.rs:

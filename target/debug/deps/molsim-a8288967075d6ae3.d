@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molsim-a8288967075d6ae3.d: crates/bench/src/bin/molsim.rs
+
+/root/repo/target/debug/deps/molsim-a8288967075d6ae3: crates/bench/src/bin/molsim.rs
+
+crates/bench/src/bin/molsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molstat-36ba879f04e145e1.d: crates/bench/src/bin/molstat.rs
+
+/root/repo/target/debug/deps/molstat-36ba879f04e145e1: crates/bench/src/bin/molstat.rs
+
+crates/bench/src/bin/molstat.rs:

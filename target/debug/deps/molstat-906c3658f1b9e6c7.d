@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/molstat-906c3658f1b9e6c7.d: crates/bench/src/bin/molstat.rs
+
+/root/repo/target/debug/deps/molstat-906c3658f1b9e6c7: crates/bench/src/bin/molstat.rs
+
+crates/bench/src/bin/molstat.rs:

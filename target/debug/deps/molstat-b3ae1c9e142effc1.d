@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molstat-b3ae1c9e142effc1.d: crates/bench/src/bin/molstat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolstat-b3ae1c9e142effc1.rmeta: crates/bench/src/bin/molstat.rs Cargo.toml
+
+crates/bench/src/bin/molstat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/molstat-ffa68cb2f8796689.d: crates/bench/src/bin/molstat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmolstat-ffa68cb2f8796689.rmeta: crates/bench/src/bin/molstat.rs Cargo.toml
+
+crates/bench/src/bin/molstat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

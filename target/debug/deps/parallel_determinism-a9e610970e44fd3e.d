@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-a9e610970e44fd3e.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-a9e610970e44fd3e: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6819a05d21368a68.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6819a05d21368a68: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/randy_property-672372258a749fc7.d: crates/core/tests/randy_property.rs Cargo.toml
+
+/root/repo/target/debug/deps/librandy_property-672372258a749fc7.rmeta: crates/core/tests/randy_property.rs Cargo.toml
+
+crates/core/tests/randy_property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/randy_property-c5b198a1ce8730ea.d: crates/core/tests/randy_property.rs
+
+/root/repo/target/debug/deps/randy_property-c5b198a1ce8730ea: crates/core/tests/randy_property.rs
+
+crates/core/tests/randy_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/randy_property-f6806daac2ceef37.d: crates/core/tests/randy_property.rs
+
+/root/repo/target/debug/deps/randy_property-f6806daac2ceef37: crates/core/tests/randy_property.rs
+
+crates/core/tests/randy_property.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1175050289427040.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-1175050289427040: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-949b9d73af23bace.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-949b9d73af23bace: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-b7d71f62472475a7.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-b7d71f62472475a7: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_workload-75651bced9dfadb6.d: examples/mixed_workload.rs
+
+/root/repo/target/debug/examples/mixed_workload-75651bced9dfadb6: examples/mixed_workload.rs
+
+examples/mixed_workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mixed_workload-7cc5fbad688e9b65.d: examples/mixed_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmixed_workload-7cc5fbad688e9b65.rmeta: examples/mixed_workload.rs Cargo.toml
+
+examples/mixed_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_budget-44c4c3e1aa2456a2.d: examples/power_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_budget-44c4c3e1aa2456a2.rmeta: examples/power_budget.rs Cargo.toml
+
+examples/power_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

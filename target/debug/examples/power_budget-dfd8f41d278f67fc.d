@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_budget-dfd8f41d278f67fc.d: examples/power_budget.rs
+
+/root/repo/target/debug/examples/power_budget-dfd8f41d278f67fc: examples/power_budget.rs
+
+examples/power_budget.rs:

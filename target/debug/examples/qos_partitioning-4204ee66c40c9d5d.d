@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qos_partitioning-4204ee66c40c9d5d.d: examples/qos_partitioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqos_partitioning-4204ee66c40c9d5d.rmeta: examples/qos_partitioning.rs Cargo.toml
+
+examples/qos_partitioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qos_partitioning-fe5f27c32e910155.d: examples/qos_partitioning.rs
+
+/root/repo/target/debug/examples/qos_partitioning-fe5f27c32e910155: examples/qos_partitioning.rs
+
+examples/qos_partitioning.rs:

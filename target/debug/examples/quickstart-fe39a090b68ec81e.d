@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fe39a090b68ec81e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fe39a090b68ec81e: examples/quickstart.rs
+
+examples/quickstart.rs:

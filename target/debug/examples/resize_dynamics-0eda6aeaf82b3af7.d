@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resize_dynamics-0eda6aeaf82b3af7.d: examples/resize_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresize_dynamics-0eda6aeaf82b3af7.rmeta: examples/resize_dynamics.rs Cargo.toml
+
+examples/resize_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resize_dynamics-213a771bae60133f.d: examples/resize_dynamics.rs
+
+/root/repo/target/debug/examples/resize_dynamics-213a771bae60133f: examples/resize_dynamics.rs
+
+examples/resize_dynamics.rs:

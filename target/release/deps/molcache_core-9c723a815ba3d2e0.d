@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/molcache_core-9c723a815ba3d2e0.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+/root/repo/target/release/deps/libmolcache_core-9c723a815ba3d2e0.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+/root/repo/target/release/deps/libmolcache_core-9c723a815ba3d2e0.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/ids.rs crates/core/src/molecule.rs crates/core/src/region.rs crates/core/src/region_table.rs crates/core/src/resize.rs crates/core/src/stats.rs crates/core/src/tile.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/ids.rs:
+crates/core/src/molecule.rs:
+crates/core/src/region.rs:
+crates/core/src/region_table.rs:
+crates/core/src/resize.rs:
+crates/core/src/stats.rs:
+crates/core/src/tile.rs:

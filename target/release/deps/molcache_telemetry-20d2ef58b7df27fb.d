@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/molcache_telemetry-20d2ef58b7df27fb.d: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/release/deps/libmolcache_telemetry-20d2ef58b7df27fb.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+/root/repo/target/release/deps/libmolcache_telemetry-20d2ef58b7df27fb.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/event.rs crates/telemetry/src/hist.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sink.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/event.rs:
+crates/telemetry/src/hist.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sink.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/molecular_caches-17ba1159e7eda498.d: src/lib.rs
+
+/root/repo/target/release/deps/libmolecular_caches-17ba1159e7eda498.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmolecular_caches-17ba1159e7eda498.rmeta: src/lib.rs
+
+src/lib.rs:

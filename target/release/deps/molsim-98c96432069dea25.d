@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/molsim-98c96432069dea25.d: crates/bench/src/bin/molsim.rs
+
+/root/repo/target/release/deps/molsim-98c96432069dea25: crates/bench/src/bin/molsim.rs
+
+crates/bench/src/bin/molsim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/molstat-be957b5f0be7dbea.d: crates/bench/src/bin/molstat.rs
+
+/root/repo/target/release/deps/molstat-be957b5f0be7dbea: crates/bench/src/bin/molstat.rs
+
+crates/bench/src/bin/molstat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-72e9c6355b4fbcd5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-72e9c6355b4fbcd5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

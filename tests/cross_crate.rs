@@ -56,7 +56,7 @@ fn same_trace_through_every_model() {
     ));
 
     for (desc, summary) in &results {
-        assert_eq!(summary.accesses, 60_000, "{desc} dropped accesses");
+        assert_eq!(summary.accesses(), 60_000, "{desc} dropped accesses");
         let mr = summary.global.miss_rate();
         assert!(
             mr > 0.0 && mr < 0.9,

@@ -286,7 +286,7 @@ fn quantum_interleaving_changes_interference_not_totals() {
     };
     let fine = run(1);
     let coarse = run(10_000);
-    assert_eq!(fine.accesses, coarse.accesses);
+    assert_eq!(fine.accesses(), coarse.accesses());
     let twolf_fine = fine.app_miss_rate(Asid::new(1));
     let twolf_coarse = coarse.app_miss_rate(Asid::new(1));
     assert!(
