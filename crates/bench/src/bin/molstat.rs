@@ -9,12 +9,18 @@
 //! ```text
 //! molstat                                # randy timeline, 200K refs
 //! molstat --policy randy,random --jobs 2 # one run per policy, fanned out
+//! molstat --stages --power               # per-stage cycles/events/energy
 //! molstat --refs 60000 --period 2000 --epoch 5000 --json > series.json
 //! ```
 //!
 //! One run per listed policy; `--jobs N` fans the runs across workers.
 //! Runs are merged back in policy-list order, so the output (text and
 //! JSON) is identical for any `--jobs` value.
+//!
+//! `--stages` prints the pipeline-stage breakdown of the whole run and
+//! self-checks the staging contract — the per-stage cycles must sum to
+//! the total access latency the statistics reported — exiting 1 on any
+//! mismatch, which makes it usable as a CI smoke check.
 
 use molcache_bench::experiments::table2;
 use molcache_bench::harness::{run_workload_recorded, Engine};
@@ -23,7 +29,7 @@ use molcache_power::calibrate::molecule_report;
 use molcache_power::tech::TechNode;
 use molcache_power::EnergyMeter;
 use molcache_sim::cmp::RunSummary;
-use molcache_sim::CacheModel;
+use molcache_sim::{Activity, CacheModel};
 use molcache_telemetry::runs_to_json;
 use molcache_trace::presets::Benchmark;
 
@@ -37,17 +43,20 @@ struct Args {
     jobs: usize,
     json: bool,
     power: bool,
+    stages: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: molstat [--policy randy,random,lru-direct] [--refs N]\n\
          \u{20}             [--epoch N] [--period N] [--seed N] [--jobs N]\n\
-         \u{20}             [--power] [--json]\n\
+         \u{20}             [--power] [--stages] [--json]\n\
          \u{20} --refs    references to simulate (default 200000)\n\
          \u{20} --epoch   accesses per telemetry epoch (default 10000)\n\
          \u{20} --period  initial per-app resize period (default 5000)\n\
          \u{20} --power   price epoch activity into energy (70nm CACTI model)\n\
+         \u{20} --stages  print the pipeline-stage breakdown and self-check\n\
+         \u{20}           that stage cycles sum to the total access latency\n\
          \u{20} --json    print the merged time-series as JSON on stdout"
     );
     std::process::exit(2);
@@ -72,6 +81,7 @@ fn parse_args() -> Args {
         jobs: 1,
         json: false,
         power: false,
+        stages: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -85,6 +95,7 @@ fn parse_args() -> Args {
             "--jobs" => args.jobs = value().parse().unwrap_or_else(|_| usage()),
             "--json" => args.json = true,
             "--power" => args.power = true,
+            "--stages" => args.stages = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -101,6 +112,50 @@ struct RunResult {
     description: String,
     resize_rounds: u64,
     free_molecules: usize,
+    activity: Activity,
+}
+
+/// Renders the run's pipeline-stage breakdown and verifies the staging
+/// contract: stage cycles must sum to the total latency the statistics
+/// reported. Returns `false` (after printing the discrepancy) on a
+/// violated contract.
+fn report_stages(run: &RunResult, meter: Option<&EnergyMeter>) -> bool {
+    let energy = meter.map(|m| m.stage_energy_nj(&run.activity));
+    println!("pipeline stages ({}):", run.policy);
+    print!(
+        "  {:<12} {:>14} {:>14} {:>12} {:>10}",
+        "stage", "cycles", "asid-compares", "tag-probes", "frames"
+    );
+    if energy.is_some() {
+        print!(" {:>14}", "energy-nJ");
+    }
+    println!();
+    for (stage, totals) in run.activity.stages.iter() {
+        print!(
+            "  {:<12} {:>14} {:>14} {:>12} {:>10}",
+            stage.name(),
+            totals.cycles,
+            totals.asid_compares,
+            totals.tag_probes,
+            totals.frames_touched,
+        );
+        if let Some(e) = &energy {
+            print!(" {:>14.1}", e.stage(stage));
+        }
+        println!();
+    }
+    let stage_cycles = run.activity.stages.total_cycles();
+    let latency = run.summary.total_latency();
+    if stage_cycles == latency {
+        println!("  stage cycles {stage_cycles} == total access latency: ok");
+        true
+    } else {
+        eprintln!(
+            "molstat: staging contract violated for {}: stage cycles {stage_cycles} != total access latency {latency}",
+            run.policy
+        );
+        false
+    }
 }
 
 fn main() {
@@ -120,6 +175,7 @@ fn main() {
                 description: cache.describe(),
                 resize_rounds: cache.resize_rounds(),
                 free_molecules: cache.free_molecules(),
+                activity: cache.activity(),
             }
         },
     );
@@ -139,6 +195,22 @@ fn main() {
     }
 
     if args.json {
+        if args.stages {
+            // Keep stdout pure JSON; the contract check still gates the
+            // exit status so `--stages --json` works as a CI smoke.
+            for run in &runs {
+                let stage_cycles = run.activity.stages.total_cycles();
+                let latency = run.summary.total_latency();
+                if stage_cycles != latency {
+                    eprintln!(
+                        "molstat: staging contract violated for {}: stage cycles \
+                         {stage_cycles} != total access latency {latency}",
+                        run.policy
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
         match runs_to_json(&recorders) {
             Ok(doc) => println!("{doc}"),
             Err(e) => {
@@ -149,6 +221,7 @@ fn main() {
         return;
     }
 
+    let mut contract_ok = true;
     for (run, recorder) in runs.iter().zip(&recorders) {
         println!("{}", recorder.render());
         println!(
@@ -161,6 +234,12 @@ fn main() {
             run.resize_rounds,
             run.free_molecules,
         );
+        if args.stages {
+            contract_ok &= report_stages(run, meter.as_ref());
+        }
         println!();
+    }
+    if !contract_ok {
+        std::process::exit(1);
     }
 }

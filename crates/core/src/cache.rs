@@ -1,17 +1,30 @@
-//! The molecular cache: hierarchical lookup, miss handling, resizing.
+//! The molecular cache: a thin driver over the staged access pipeline.
+//!
+//! The mechanics of servicing a request live in [`crate::pipeline`], one
+//! module per hardware stage; this file owns the cache's physical
+//! structure (molecules, tiles, clusters), the region table, and the
+//! [`service`](MolecularCache) driver that sequences the stages and
+//! assembles their [`StageTrace`](molcache_sim::StageTrace)s into the
+//! per-access [`StageBreakdown`]. Region allocation and Algorithm-1
+//! resizing live in [`crate::resize`]; telemetry publishing in the
+//! `observe` module.
 
-use crate::config::{InitialAllocation, MolecularConfig, VictimRng};
+use crate::config::MolecularConfig;
 use crate::ids::{ClusterId, MoleculeId, TileId};
 use crate::molecule::Molecule;
 use crate::region::Region;
 use crate::region_table::RegionTable;
-use crate::resize::{algorithm1, Decision, ResizeController, ResizeEvent};
+use crate::resize::{ResizeController, ResizeEvent};
 use crate::stats::RegionSnapshot;
 use crate::tile::{Tile, TileCluster};
-use molcache_sim::{AccessOutcome, Activity, BatchOutcome, CacheModel, CacheStats, Request};
-use molcache_telemetry::{EpochActivity, EpochSample, Event, ResizeKind, ResizeRecord, SinkHandle};
+use molcache_sim::{
+    AccessOutcome, Activity, BatchOutcome, CacheModel, CacheStats, Request, StageBreakdown,
+};
+use molcache_telemetry::SinkHandle;
 use molcache_trace::rng::Rng;
-use molcache_trace::{Asid, LineAddr};
+use molcache_trace::Asid;
+
+pub use crate::pipeline::victim::Lfsr16;
 
 /// The molecular cache (Figure 1/2 of the paper).
 ///
@@ -19,56 +32,30 @@ use molcache_trace::{Asid, LineAddr};
 /// [`CacheModel`] trait. Regions are created on demand: the first access
 /// from a new ASID assigns the application to a cluster and home tile and
 /// grants its initial molecule allocation ("Ground Zero", §3.4).
-/// A 16-bit Galois LFSR (taps 16, 14, 13, 11 — maximal length), the
-/// kind of generator a cache controller implements in a handful of
-/// flip-flops. Its draws are cheap but correlated: consecutive values
-/// differ by one shift, which is precisely the low-entropy behaviour the
-/// paper blames for Random replacement's load imbalance.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Lfsr16 {
-    state: u16,
-}
-
-impl Lfsr16 {
-    /// Creates an LFSR from a seed (zero is mapped to a non-zero state).
-    pub fn new(seed: u16) -> Self {
-        Lfsr16 {
-            state: if seed == 0 { 0xACE1 } else { seed },
-        }
-    }
-
-    /// Advances one step and returns the 16-bit state.
-    pub fn next_u16(&mut self) -> u16 {
-        let lsb = self.state & 1;
-        self.state >>= 1;
-        if lsb == 1 {
-            self.state ^= 0xB400; // taps 16,14,13,11
-        }
-        self.state
-    }
-}
-
 #[derive(Debug, Clone)]
 pub struct MolecularCache {
-    cfg: MolecularConfig,
-    molecules: Vec<Molecule>,
-    tiles: Vec<Tile>,
-    clusters: Vec<TileCluster>,
-    regions: RegionTable,
-    resizer: ResizeController,
-    rng: Rng,
-    lfsr: Lfsr16,
-    stats: CacheStats,
-    activity: Activity,
-    next_cluster_rr: usize,
-    next_tile_rr: Vec<usize>,
-    resize_rounds: u64,
-    resize_partitions_touched: u64,
-    failed_allocations: u64,
-    sink: SinkHandle,
-    epoch_index: u64,
-    epoch_stats_base: CacheStats,
-    epoch_activity_base: Activity,
+    pub(crate) cfg: MolecularConfig,
+    pub(crate) molecules: Vec<Molecule>,
+    pub(crate) tiles: Vec<Tile>,
+    pub(crate) clusters: Vec<TileCluster>,
+    pub(crate) regions: RegionTable,
+    pub(crate) resizer: ResizeController,
+    pub(crate) rng: Rng,
+    pub(crate) lfsr: Lfsr16,
+    pub(crate) stats: CacheStats,
+    pub(crate) activity: Activity,
+    pub(crate) next_cluster_rr: usize,
+    pub(crate) next_tile_rr: Vec<usize>,
+    pub(crate) resize_rounds: u64,
+    pub(crate) resize_partitions_touched: u64,
+    pub(crate) failed_allocations: u64,
+    pub(crate) sink: SinkHandle,
+    pub(crate) epoch_index: u64,
+    pub(crate) epoch_stats_base: CacheStats,
+    pub(crate) epoch_activity_base: Activity,
+    /// Scratch list the ASID gate hands to the tag-probe stage (reused
+    /// across accesses to keep the gate allocation-free).
+    pub(crate) gate_matches: Vec<MoleculeId>,
 }
 
 impl MolecularCache {
@@ -102,6 +89,7 @@ impl MolecularCache {
         let rng = Rng::seeded(cfg.seed);
         let lfsr = Lfsr16::new(cfg.seed as u16);
         let clusters_count = cfg.clusters();
+        let tile_molecules = cfg.tile_molecules();
         MolecularCache {
             cfg,
             molecules,
@@ -122,6 +110,7 @@ impl MolecularCache {
             epoch_index: 0,
             epoch_stats_base: CacheStats::new(),
             epoch_activity_base: Activity::default(),
+            gate_matches: Vec::with_capacity(tile_molecules),
         }
     }
 
@@ -211,23 +200,6 @@ impl MolecularCache {
         }
     }
 
-    /// Checks the structural invariant that no line is resident in more
-    /// than one molecule of the same region (diagnostics / property
-    /// tests). Returns the ASID of the first violating region, if any.
-    pub fn find_duplicate_line(&self) -> Option<Asid> {
-        for (asid, region) in &self.regions {
-            let mut seen = std::collections::HashSet::new();
-            for id in region.molecules() {
-                for line in self.molecules[id.index()].resident_lines() {
-                    if !seen.insert(line) {
-                        return Some(*asid);
-                    }
-                }
-            }
-        }
-        None
-    }
-
     /// Destroys an application's region (process termination): every
     /// member molecule is flushed (dirty lines counted as writebacks) and
     /// returned to its tile's free pool. Returns the number of molecules
@@ -284,358 +256,6 @@ impl MolecularCache {
             granted += 1;
         }
         granted
-    }
-
-    // ---- region creation -------------------------------------------------
-
-    fn ensure_region(&mut self, asid: Asid) {
-        if self.regions.contains_key(&asid) {
-            return;
-        }
-        let cluster_idx = self.cfg.app_cluster(asid).unwrap_or_else(|| {
-            let c = self.next_cluster_rr % self.cfg.clusters();
-            self.next_cluster_rr += 1;
-            c
-        });
-        let tile_pos = self.next_tile_rr[cluster_idx] % self.cfg.tiles_per_cluster();
-        self.next_tile_rr[cluster_idx] += 1;
-        let home = self.clusters[cluster_idx].tiles()[tile_pos];
-
-        let mut region = Region::new(
-            asid,
-            home,
-            ClusterId(cluster_idx as u32),
-            self.cfg.policy(),
-            self.cfg.line_factor(asid),
-            self.cfg.goal(asid),
-            self.cfg.row_max(),
-        );
-        let want = match self.cfg.initial_allocation {
-            InitialAllocation::HalfTile => self.cfg.tile_molecules() / 2,
-            InitialAllocation::Molecules(n) => n,
-        }
-        .max(1);
-        let granted = self.grant_molecules(&mut region, want);
-        region.note_allocation(granted.max(1));
-        self.resizer.register_app(asid);
-        self.regions.insert(asid, region);
-    }
-
-    /// Takes up to `want` free molecules (home tile first, then the other
-    /// tiles of the region's cluster), configures them into the region.
-    fn grant_molecules(&mut self, region: &mut Region, want: usize) -> usize {
-        let mut granted = 0;
-        let home = region.home_tile();
-        let cluster_tiles: Vec<TileId> = self.clusters[region.cluster().index()].tiles().to_vec();
-        let order = std::iter::once(home).chain(cluster_tiles.into_iter().filter(|t| *t != home));
-        for tid in order {
-            while granted < want {
-                let Some(id) = self.tiles[tid.index()].take_free() else {
-                    break;
-                };
-                let flushed = self.molecules[id.index()].configure(region.asid());
-                self.activity.writebacks += flushed;
-                region.add_molecule(id);
-                granted += 1;
-            }
-            if granted >= want {
-                break;
-            }
-        }
-        if granted < want {
-            self.failed_allocations += 1;
-        }
-        granted
-    }
-
-    // ---- lookup ----------------------------------------------------------
-
-    /// Probes one tile's ASID-matching molecules for a line. Updates
-    /// activity counters; on a hit also updates the molecule's counters.
-    fn search_tile(
-        &mut self,
-        tile: TileId,
-        asid: Asid,
-        line: LineAddr,
-        is_write: bool,
-    ) -> Option<MoleculeId> {
-        // Every molecule of the tile performs the ASID comparison stage.
-        let capacity = self.tiles[tile.index()].capacity();
-        self.activity.asid_compares += capacity as u64;
-        let mut found = None;
-        for k in 0..capacity {
-            let id = self.tiles[tile.index()].molecules()[k];
-            if !self.molecules[id.index()].matches(asid) {
-                continue;
-            }
-            self.activity.ways_probed += 1;
-            if found.is_some() {
-                // Remaining matching molecules still burn probe energy in
-                // the hardware's parallel lookup, but cannot also hit: a
-                // line is resident in at most one molecule.
-                continue;
-            }
-            let m = &mut self.molecules[id.index()];
-            let hit = if is_write {
-                m.mark_dirty(line)
-            } else {
-                m.touch(line)
-            };
-            if hit {
-                found = Some(id);
-            }
-        }
-        found
-    }
-
-    /// Remote tiles of the cluster holding molecules of this region
-    /// (Ulmo's search list), excluding the home tile.
-    fn remote_tiles(&self, region: &Region) -> Vec<TileId> {
-        let home = region.home_tile();
-        let mut tiles: Vec<TileId> = region
-            .molecules()
-            .map(|id| self.molecules[id.index()].tile())
-            .filter(|t| *t != home)
-            .collect();
-        tiles.sort_unstable();
-        tiles.dedup();
-        tiles
-    }
-
-    // ---- miss handling ---------------------------------------------------
-
-    /// Fills the `line_factor`-line block containing `line` into the
-    /// victim molecule (§3.2: consecutive lines land in consecutive
-    /// frames of the same molecule). Returns whether any writeback
-    /// occurred.
-    fn fill_block(
-        &mut self,
-        region_asid: Asid,
-        victim: MoleculeId,
-        line: LineAddr,
-        is_write: bool,
-    ) -> bool {
-        let k = self.regions[&region_asid].line_factor() as u64;
-        let block_start = LineAddr(line.0 - line.0 % k);
-        let member_ids: Vec<MoleculeId> = self.regions[&region_asid].molecules().collect();
-        let mut writeback = false;
-        for j in 0..k {
-            let l = LineAddr(block_start.0 + j);
-            // Invalidate stale copies elsewhere in the region so that a
-            // block fill never duplicates a line.
-            for id in &member_ids {
-                if *id != victim {
-                    if let Some(dirty) = self.molecules[id.index()].invalidate(l) {
-                        writeback |= dirty;
-                        if dirty {
-                            self.activity.writebacks += 1;
-                        }
-                    }
-                }
-            }
-            let dirty_fill = is_write && l == line;
-            let evicted_dirty = self.molecules[victim.index()].fill(l, dirty_fill);
-            if evicted_dirty {
-                self.activity.writebacks += 1;
-            }
-            writeback |= evicted_dirty;
-            self.activity.line_fills += 1;
-        }
-        writeback
-    }
-
-    // ---- telemetry ---------------------------------------------------------
-
-    /// Fraction of a region's line frames holding valid lines.
-    fn occupancy_of(&self, region: &Region) -> f64 {
-        let frames = region.size() * self.cfg.frames_per_molecule();
-        if frames == 0 {
-            return 0.0;
-        }
-        let valid: usize = region
-            .molecules()
-            .map(|id| self.molecules[id.index()].occupancy())
-            .sum();
-        valid as f64 / frames as f64
-    }
-
-    /// Publishes per-partition samples and cache-wide activity when the
-    /// current access closes an epoch. Telemetry only reads cache state,
-    /// so results stay bit-identical whether or not a sink is attached.
-    fn maybe_close_epoch(&mut self) {
-        if !self.sink.is_enabled() || self.activity.accesses == 0 {
-            return;
-        }
-        if !self.activity.accesses.is_multiple_of(self.sink.epoch_length()) {
-            return;
-        }
-        let epoch = self.epoch_index;
-        let delta = self.stats.since(&self.epoch_stats_base);
-        let samples: Vec<EpochSample> = self
-            .regions
-            .iter()
-            .map(|(asid, region)| {
-                let app = delta.app(*asid);
-                EpochSample {
-                    epoch,
-                    asid: *asid,
-                    accesses: app.accesses,
-                    misses: app.misses,
-                    molecules: region.size(),
-                    rows: region.num_rows(),
-                    occupancy: self.occupancy_of(region),
-                    goal: region.goal(),
-                }
-            })
-            .collect();
-        let base = self.epoch_activity_base;
-        let activity = EpochActivity {
-            epoch,
-            accesses: self.activity.accesses - base.accesses,
-            ways_probed: self.activity.ways_probed - base.ways_probed,
-            line_fills: self.activity.line_fills - base.line_fills,
-            writebacks: self.activity.writebacks - base.writebacks,
-            asid_compares: self.activity.asid_compares - base.asid_compares,
-            ulmo_searches: self.activity.ulmo_searches - base.ulmo_searches,
-            free_molecules: self.free_molecules(),
-        };
-        for sample in &samples {
-            self.sink.emit(Event::Partition(sample));
-        }
-        self.sink.emit(Event::Epoch(&activity));
-        self.epoch_index += 1;
-        self.epoch_stats_base = self.stats.clone();
-        self.epoch_activity_base = self.activity;
-    }
-
-    /// Publishes one applied resize decision.
-    #[allow(clippy::too_many_arguments)]
-    fn publish_resize(
-        &self,
-        asid: Asid,
-        kind: ResizeKind,
-        requested: usize,
-        applied: usize,
-        before: usize,
-        window_miss_rate: f64,
-        goal: f64,
-    ) {
-        if !self.sink.is_enabled() {
-            return;
-        }
-        let record = ResizeRecord {
-            at_access: self.activity.accesses,
-            trigger: self.cfg.trigger().name().to_string(),
-            asid,
-            kind,
-            requested,
-            applied,
-            before,
-            after: self.regions[&asid].size(),
-            window_miss_rate,
-            goal,
-        };
-        self.sink.emit(Event::Resize(&record));
-    }
-
-    // ---- resizing (Algorithm 1) -------------------------------------------
-
-    fn resize_partition(&mut self, asid: Asid) -> (u64, u64) {
-        let Some(region) = self.regions.get(&asid) else {
-            return (0, 0);
-        };
-        let window = (region.window_accesses(), {
-            let r = self.regions.get(&asid).expect("checked");
-            (r.window_miss_rate() * r.window_accesses() as f64).round() as u64
-        });
-        if region.window_accesses() == 0 {
-            // Idle partition: nothing to learn this window.
-            return window;
-        }
-        let mr = region.window_miss_rate();
-        let goal = region.goal();
-        let last = region.last_miss_rate();
-        let current = region.size();
-        let last_alloc = region.last_allocation();
-        let decision = algorithm1(
-            mr,
-            goal,
-            last,
-            current,
-            last_alloc,
-            self.cfg.max_allocation(),
-        );
-        match decision {
-            Decision::Grow(n) => {
-                let mut region = self.regions.remove(&asid).expect("present");
-                let granted = self.grant_molecules(&mut region, n);
-                region.note_allocation(granted);
-                self.regions.insert(asid, region);
-                self.publish_resize(asid, ResizeKind::Grow, n, granted, current, mr, goal);
-            }
-            Decision::Shrink(n) => {
-                let mut region = self.regions.remove(&asid).expect("present");
-                let mut removed = 0;
-                for _ in 0..n {
-                    let Some(id) =
-                        region.remove_coldest(|m| self.molecules[m.index()].miss_count())
-                    else {
-                        break;
-                    };
-                    let flushed = self.molecules[id.index()].configure(Asid::NONE);
-                    self.activity.writebacks += flushed;
-                    let tile = self.molecules[id.index()].tile();
-                    self.tiles[tile.index()].release(id);
-                    removed += 1;
-                }
-                self.regions.insert(asid, region);
-                self.publish_resize(asid, ResizeKind::Shrink, n, removed, current, mr, goal);
-            }
-            Decision::Hold => {}
-        }
-        // Close the window: store the observed miss rate, clear counters.
-        let member_ids: Vec<MoleculeId> = self.regions[&asid].molecules().collect();
-        for id in member_ids {
-            self.molecules[id.index()].reset_window_counters();
-        }
-        self.regions.get_mut(&asid).expect("present").close_window();
-        window
-    }
-
-    fn resize_all(&mut self) {
-        self.resize_rounds += 1;
-        self.resize_partitions_touched += self.regions.len() as u64;
-        let asids: Vec<Asid> = self.regions.keys().copied().collect();
-        let mut total_accesses = 0u64;
-        let mut total_misses = 0u64;
-        let mut weighted_goal = 0.0;
-        for asid in &asids {
-            let goal = self.regions[asid].goal();
-            let (acc, miss) = self.resize_partition(*asid);
-            total_accesses += acc;
-            total_misses += miss;
-            weighted_goal += goal * acc as f64;
-        }
-        if total_accesses > 0 {
-            let overall_mr = total_misses as f64 / total_accesses as f64;
-            let goal = weighted_goal / total_accesses as f64;
-            self.resizer.adapt_global(overall_mr, goal);
-        }
-    }
-
-    fn resize_one(&mut self, asid: Asid) {
-        self.resize_rounds += 1;
-        self.resize_partitions_touched += 1;
-        let Some(region) = self.regions.get(&asid) else {
-            return;
-        };
-        let goal = region.goal();
-        let mr = region.window_miss_rate();
-        let had_window = region.window_accesses() > 0;
-        self.resize_partition(asid);
-        if had_window {
-            self.resizer.adapt_app(asid, mr, goal);
-        }
     }
 }
 
@@ -716,758 +336,91 @@ impl CacheModel for MolecularCache {
 }
 
 impl MolecularCache {
+    /// Drives one request through the five-stage pipeline.
+    ///
+    /// Each stage writes what it did into its slot of the
+    /// [`StageBreakdown`]; the driver assigns the stage cycles (ASID gate
+    /// = the gate stage cycles, home lookup = the hit latency, Ulmo = its
+    /// penalty when launched, fill = the miss penalty on a miss, victim =
+    /// zero) so that the breakdown's cycles sum exactly to the access's
+    /// reported latency on every path, and folds the breakdown into the
+    /// cache-wide [`Activity`] exactly once per access.
     fn service(&mut self, req: Request) -> AccessOutcome {
         let asid = req.asid;
         let line = req.addr.line(self.cfg.line_size());
         let is_write = req.kind.is_write();
         let home = self.regions[&asid].home_tile();
-        let base_latency = self.cfg.asid_stage_cycles + self.cfg.hit_latency;
+        let mut stages = StageBreakdown::default();
 
-        // Home-tile search.
-        if let Some(hit_mol) = self.search_tile(home, asid, line, is_write) {
-            let clock = self.activity.accesses;
-            let region = self.regions.get_mut(&asid).expect("region");
-            region.note_molecule_use(hit_mol, clock);
-            region.record_access(false);
-            self.stats.record(asid, true, false, base_latency);
-            return AccessOutcome::hit(base_latency);
+        // Stage 1 — ASID gate, stage 2 — home-tile tag probe.
+        stages.asid_gate.cycles = self.cfg.asid_stage_cycles;
+        stages.home_lookup.cycles = self.cfg.hit_latency;
+        let mut latency = self.cfg.asid_stage_cycles + self.cfg.hit_latency;
+        self.asid_gate(home, asid, &mut stages.asid_gate);
+        if let Some(hit_mol) = self.probe_gated(line, is_write, &mut stages.home_lookup) {
+            return self.finish_hit(asid, hit_mol, latency, stages);
         }
 
-        // Ulmo: remote tiles of the cluster holding region molecules.
-        let remote = {
-            let region = &self.regions[&asid];
-            self.remote_tiles(region)
-        };
-        let mut latency = base_latency;
-        if !remote.is_empty() {
-            self.activity.ulmo_searches += 1;
-            latency += self.cfg.ulmo_penalty;
-            for tile in remote {
-                if let Some(hit_mol) = self.search_tile(tile, asid, line, is_write) {
-                    let clock = self.activity.accesses;
-                    let region = self.regions.get_mut(&asid).expect("region");
-                    region.note_molecule_use(hit_mol, clock);
-                    region.record_access(false);
-                    self.stats.record(asid, true, false, latency);
-                    return AccessOutcome::hit(latency);
-                }
-            }
+        // Stage 3 — Ulmo cross-tile search (charges its penalty to its
+        // trace only when the region actually spans tiles).
+        let remote_hit = self.ulmo_search(asid, line, is_write, &mut stages.ulmo_search);
+        latency += stages.ulmo_search.cycles;
+        if let Some(hit_mol) = remote_hit {
+            return self.finish_hit(asid, hit_mol, latency, stages);
         }
 
-        // Miss. Choose a victim molecule and fill the block.
+        // Miss: stage 4 — victim selection, stage 5 — block fill.
         latency += self.cfg.miss_penalty;
+        stages.fill.cycles = self.cfg.miss_penalty;
         self.regions
             .get_mut(&asid)
             .expect("region")
             .record_access(true);
-        let victim = {
-            let draw = match self.cfg.victim_rng() {
-                VictimRng::Lfsr16 => self.lfsr.next_u16() as u64,
-                VictimRng::HighQuality => self.rng.next_u64(),
-            };
-            let molecule_size = self.cfg.molecule_size();
-            let region = self.regions.get_mut(&asid).expect("region");
-            region.select_victim(req.addr, molecule_size, draw)
-        };
-        let victim = victim.or_else(|| {
-            // Region owns no molecules (cache fully committed elsewhere):
-            // fall back to the home tile's shared molecules, which accept
-            // fills from every application (§3.1's shared bit).
-            let tile = &self.tiles[home.index()];
-            let shared: Vec<MoleculeId> = tile
-                .molecules()
-                .iter()
-                .copied()
-                .filter(|id| self.molecules[id.index()].is_shared())
-                .collect();
-            if shared.is_empty() {
-                None
-            } else {
-                Some(shared[(self.lfsr.next_u16() as usize) % shared.len()])
-            }
-        });
-        let Some(victim) = victim else {
+        let Some(victim) = self.victim_select(asid, req.addr, home) else {
             // No region molecules and no shared fallback: the request
-            // bypasses the cache entirely.
+            // bypasses the cache entirely (fill stage touches no frame).
             self.stats.record(asid, false, false, latency);
+            self.activity.record_stages(&stages);
             return AccessOutcome {
                 hit: false,
                 latency,
                 writeback: false,
                 lines_fetched: 0,
+                stages: Some(stages),
             };
         };
         self.molecules[victim.index()].record_replacement_miss();
-        let writeback = self.fill_block(asid, victim, line, is_write);
+        let writeback = self.fill_block(asid, victim, line, is_write, &mut stages.fill);
         self.stats.record(asid, false, writeback, latency);
+        self.activity.record_stages(&stages);
         AccessOutcome {
             hit: false,
             latency,
             writeback,
             lines_fetched: self.regions[&asid].line_factor(),
+            stages: Some(stages),
         }
+    }
+
+    /// Books a hit found by the lookup stages: replacement recency, region
+    /// and cache statistics, and the stage breakdown.
+    fn finish_hit(
+        &mut self,
+        asid: Asid,
+        hit_mol: MoleculeId,
+        latency: u32,
+        stages: StageBreakdown,
+    ) -> AccessOutcome {
+        let clock = self.activity.accesses;
+        let region = self.regions.get_mut(&asid).expect("region");
+        region.note_molecule_use(hit_mol, clock);
+        region.record_access(false);
+        self.stats.record(asid, true, false, latency);
+        self.activity.record_stages(&stages);
+        AccessOutcome::hit(latency).with_stages(stages)
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::MolecularConfig;
-    use crate::resize::ResizeTrigger;
-    use molcache_trace::{AccessKind, Address};
-
-    fn small_config() -> MolecularConfig {
-        // 1 cluster x 2 tiles x 8 molecules x 1KB (16 frames of 64B).
-        MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap()
-    }
-
-    fn read(asid: u16, addr: u64) -> Request {
-        Request {
-            asid: Asid::new(asid),
-            addr: Address::new(addr),
-            kind: AccessKind::Read,
-        }
-    }
-
-    fn write(asid: u16, addr: u64) -> Request {
-        Request {
-            asid: Asid::new(asid),
-            addr: Address::new(addr),
-            kind: AccessKind::Write,
-        }
-    }
-
-    #[test]
-    fn first_access_creates_region_with_half_tile() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(read(1, 0));
-        let snap = c.region_snapshot(Asid::new(1)).unwrap();
-        assert_eq!(snap.molecules, 4, "half of an 8-molecule tile");
-        assert_eq!(c.free_molecules(), 12);
-    }
-
-    #[test]
-    fn miss_then_hit() {
-        let mut c = MolecularCache::new(small_config());
-        assert!(!c.access(read(1, 0x100)).hit);
-        assert!(c.access(read(1, 0x100)).hit);
-        assert!(c.access(read(1, 0x100 + 32)).hit, "same 64B line");
-    }
-
-    #[test]
-    fn asid_isolation() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(read(1, 0x1000));
-        // A different app accessing the same physical address misses:
-        // app 2's region does not include app 1's molecules.
-        assert!(!c.access(read(2, 0x1000)).hit);
-        // And app 1 still hits: app 2 did not disturb its region.
-        assert!(c.access(read(1, 0x1000)).hit);
-    }
-
-    #[test]
-    fn apps_assigned_round_robin_to_tiles() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(read(1, 0));
-        c.access(read(2, 0));
-        let home1 = c.regions[&Asid::new(1)].home_tile();
-        let home2 = c.regions[&Asid::new(2)].home_tile();
-        assert_ne!(home1, home2);
-    }
-
-    #[test]
-    fn write_miss_then_eviction_writes_back() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(128) // 2 frames per molecule
-            .tile_molecules(2)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(1))
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // One molecule, 2 frames. Write line 0, then conflict with line 2
-        // (same frame 0 of the only molecule).
-        assert!(!c.access(write(1, 0)).hit);
-        let out = c.access(read(1, 2 * 64));
-        assert!(!out.hit);
-        assert!(out.writeback, "dirty line 0 must be written back");
-    }
-
-    #[test]
-    fn region_grows_when_missing() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(1))
-            .trigger(ResizeTrigger::Constant { period: 200 })
-            .miss_rate_goal(0.05)
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // Stream far more lines than one molecule holds: miss rate ~100%
-        // -> Algorithm 1's >50% branch grows the partition each round.
-        for i in 0..2_000u64 {
-            c.access(read(1, (i % 256) * 64));
-        }
-        let snap = c.region_snapshot(Asid::new(1)).unwrap();
-        assert!(snap.molecules > 1, "partition must have grown");
-        assert!(c.resize_rounds() > 0);
-    }
-
-    #[test]
-    fn region_shrinks_when_idle_hot() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(8))
-            .trigger(ResizeTrigger::Constant { period: 500 })
-            .miss_rate_goal(0.20)
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // Two hot lines, hit rate ~100% -> far below goal -> withdraw.
-        for i in 0..5_000u64 {
-            c.access(read(1, (i % 2) * 64));
-        }
-        let snap = c.region_snapshot(Asid::new(1)).unwrap();
-        assert!(snap.molecules < 8, "partition must have shrunk");
-        assert!(snap.molecules >= 1, "never below one molecule");
-    }
-
-    #[test]
-    fn freed_molecules_are_reusable_by_other_apps() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(4)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(4))
-            .trigger(ResizeTrigger::Constant { period: 200 })
-            .miss_rate_goal(0.2)
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // App 1 grabs all molecules, then goes idle-hot so it shrinks.
-        for i in 0..3_000u64 {
-            c.access(read(1, (i % 2) * 64));
-        }
-        assert!(c.free_molecules() > 0, "app 1 must have released some");
-        // App 2 can now build a region.
-        c.access(read(2, 1 << 20));
-        let snap2 = c.region_snapshot(Asid::new(2)).unwrap();
-        assert!(snap2.molecules >= 1);
-    }
-
-    #[test]
-    fn ulmo_searches_remote_tiles() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(2)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            // Want 3 molecules: 2 from home tile + 1 remote.
-            .initial_allocation(InitialAllocation::Molecules(2))
-            .max_allocation(4)
-            .trigger(ResizeTrigger::Constant { period: 100 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // Thrash so the region grows beyond its home tile.
-        for i in 0..1_000u64 {
-            c.access(read(1, (i % 64) * 64));
-        }
-        let region = &c.regions[&Asid::new(1)];
-        let remote = c.remote_tiles(region);
-        assert!(!remote.is_empty(), "region should span tiles");
-        assert!(c.activity().ulmo_searches > 0);
-    }
-
-    #[test]
-    fn shared_molecules_visible_to_all() {
-        let mut c = MolecularCache::new(small_config());
-        assert_eq!(c.make_shared(0, 2), 2);
-        // Shared molecules pass the ASID stage for every app; they are
-        // probed (ways_probed counts them) even before a region exists.
-        c.access(read(1, 0));
-        assert!(c.activity().ways_probed > 0);
-    }
-
-    #[test]
-    fn shared_molecules_serve_regionless_apps() {
-        // One tile, one molecule, marked shared before any region exists.
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(1)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        assert_eq!(c.make_shared(0, 1), 1);
-        // The app's region gets zero molecules (pool is empty), but the
-        // shared molecule accepts its fills and serves its hits.
-        assert!(!c.access(read(1, 0)).hit);
-        assert!(c.access(read(1, 0)).hit, "shared molecule served the hit");
-        // A second application shares the same molecule.
-        assert!(!c.access(read(2, 1 << 20)).hit);
-        assert!(c.access(read(2, 1 << 20)).hit);
-    }
-
-    #[test]
-    fn no_duplicate_lines_across_region() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .app_line_factor(Asid::new(1), 4)
-            .trigger(ResizeTrigger::Constant { period: 300 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        for i in 0..5_000u64 {
-            c.access(read(1, (i % 300) * 64));
-            if i % 512 == 0 {
-                assert_eq!(c.find_duplicate_line(), None, "at access {i}");
-            }
-        }
-        assert_eq!(c.find_duplicate_line(), None);
-    }
-
-    #[test]
-    fn bypass_when_no_molecules_available() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(1)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(1))
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        c.access(read(1, 0)); // app 1 takes the only molecule
-        let out = c.access(read(2, 1 << 20)); // app 2 gets nothing
-        assert!(!out.hit);
-        assert_eq!(out.lines_fetched, 0, "bypass fetches nothing");
-        assert!(c.failed_allocations() > 0);
-        // App 2's accesses all miss but do not crash or steal.
-        assert!(!c.access(read(2, 1 << 20)).hit);
-        assert!(c.access(read(1, 0)).hit, "app 1 undisturbed");
-    }
-
-    #[test]
-    fn line_factor_prefetches_block() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .app_line_factor(Asid::new(1), 4)
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        let out = c.access(read(1, 0));
-        assert_eq!(out.lines_fetched, 4);
-        // Neighbours in the 4-line block now hit.
-        assert!(c.access(read(1, 64)).hit);
-        assert!(c.access(read(1, 128)).hit);
-        assert!(c.access(read(1, 192)).hit);
-        // Next block misses.
-        assert!(!c.access(read(1, 256)).hit);
-    }
-
-    #[test]
-    fn activity_counts_asid_compares() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(read(1, 0));
-        // Home tile has 8 molecules: at least 8 ASID compares happened.
-        assert!(c.activity().asid_compares >= 8);
-        let probes = c.activity().ways_probed;
-        assert!(probes >= 4, "the 4 region molecules are probed");
-    }
-
-    #[test]
-    fn stats_reset_preserves_contents() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(read(1, 0));
-        c.reset_stats();
-        assert_eq!(c.stats().global.accesses, 0);
-        assert!(c.access(read(1, 0)).hit, "contents survive reset");
-    }
-
-    #[test]
-    fn describe_mentions_policy_and_geometry() {
-        let c = MolecularCache::new(small_config());
-        let d = c.describe();
-        assert!(d.contains("Randy"), "{d}");
-        assert!(d.contains("molecular"), "{d}");
-    }
-
-    #[test]
-    fn per_app_adaptive_trigger_resizes_only_that_app() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .trigger(ResizeTrigger::PerAppAdaptive {
-                initial_period: 100,
-            })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        for i in 0..500u64 {
-            c.access(read(1, (i % 128) * 64));
-        }
-        assert!(c.resize_rounds() > 0);
-    }
-
-    #[test]
-    fn lfsr_is_deterministic_and_full_period_like() {
-        let mut a = Lfsr16::new(0xACE1);
-        let mut b = Lfsr16::new(0xACE1);
-        let mut seen_distinct = std::collections::HashSet::new();
-        for _ in 0..10_000 {
-            let v = a.next_u16();
-            assert_eq!(v, b.next_u16());
-            seen_distinct.insert(v);
-        }
-        // Maximal-length 16-bit LFSR: 10k steps give 10k distinct states.
-        assert_eq!(seen_distinct.len(), 10_000);
-        // Zero seed is remapped, not stuck.
-        let mut z = Lfsr16::new(0);
-        assert_ne!(z.next_u16(), 0);
-    }
-
-    #[test]
-    fn remote_hit_costs_more_than_home_hit() {
-        // Region spans two tiles; a line resident in the remote tile pays
-        // the Ulmo penalty on top of the base hit latency.
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(2)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(4)) // spans both tiles
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // Touch enough distinct lines that some land in remote molecules,
-        // then re-read: hits resolve either in the home tile (base
-        // latency = 1 ASID stage + 4 hit cycles) or remotely through Ulmo
-        // (base + 8).
-        // 64 lines span replacement rows 0..3, so fills land in both the
-        // home tile's molecules (rows 0-1) and the remote ones (rows 2-3).
-        let mut hit_latencies = std::collections::BTreeSet::new();
-        for round in 0..6 {
-            for i in 0..64u64 {
-                let out = c.access(read(1, i * 64));
-                if round > 0 && out.hit {
-                    hit_latencies.insert(out.latency);
-                }
-            }
-        }
-        assert!(
-            hit_latencies.contains(&5),
-            "expected home-tile hits at latency 5: {hit_latencies:?}"
-        );
-        assert!(
-            hit_latencies.contains(&13),
-            "expected Ulmo remote hits at latency 13: {hit_latencies:?}"
-        );
-        assert!(c.activity().ulmo_searches > 0);
-    }
-
-    #[test]
-    fn high_quality_victim_rng_also_works() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .victim_rng(crate::config::VictimRng::HighQuality)
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // 48 lines fit comfortably in the initial 4-molecule allocation.
-        for i in 0..500u64 {
-            c.access(read(1, (i % 48) * 64));
-        }
-        let stats = c.stats();
-        assert_eq!(stats.global.accesses, 500);
-        assert!(stats.global.hits > 300, "hits {}", stats.global.hits);
-    }
-
-    #[test]
-    fn lru_direct_cache_end_to_end() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .policy(crate::config::RegionPolicy::LruDirect)
-            .trigger(ResizeTrigger::Constant { period: 500 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        for i in 0..3_000u64 {
-            c.access(read(1, (i % 96) * 64));
-        }
-        assert!(c.stats().global.hits > 0, "LRU-Direct must serve hits");
-        assert!(c.describe().contains("LRU-Direct"));
-    }
-
-    #[test]
-    fn non_default_line_size() {
-        // 128-byte base lines: two 64-byte offsets share a line.
-        let cfg = MolecularConfig::builder()
-            .molecule_size(2048)
-            .line_size(128)
-            .tile_molecules(4)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        assert_eq!(c.config().frames_per_molecule(), 16);
-        assert!(!c.access(read(1, 0)).hit);
-        assert!(c.access(read(1, 64)).hit, "same 128B line");
-        assert!(!c.access(read(1, 128)).hit, "next 128B line");
-    }
-
-    #[test]
-    fn block_fill_marks_only_accessed_line_dirty() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(1)
-            .clusters(1)
-            .app_line_factor(Asid::new(1), 2)
-            .trigger(ResizeTrigger::Constant { period: 1_000_000 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        // Write-miss on line 1 of a 2-line block: line 1 dirty, line 0 clean.
-        let out = c.access(write(1, 64));
-        assert_eq!(out.lines_fetched, 2);
-        assert!(c.access(read(1, 0)).hit, "block partner prefetched");
-        // Writebacks counted so far come only from fills/evictions, and a
-        // fresh cache has none.
-        assert_eq!(c.stats().global.writebacks, 0);
-    }
-
-    #[test]
-    fn resize_overhead_estimate_tracks_partitions() {
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .trigger(ResizeTrigger::Constant { period: 100 })
-            .build()
-            .unwrap();
-        let mut c = MolecularCache::new(cfg);
-        for i in 0..1_000u64 {
-            c.access(read(1 + (i % 2) as u16, (i % 64) * 64));
-        }
-        // 10 rounds x 2 partitions x 1500 cycles.
-        assert_eq!(c.resize_rounds(), 10);
-        assert_eq!(
-            c.estimated_resize_overhead_cycles(),
-            10 * 2 * MolecularCache::RESIZE_CYCLES_PER_APP
-        );
-    }
-
-    #[test]
-    fn release_region_returns_molecules_to_pool() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(write(1, 0));
-        let before_free = c.free_molecules();
-        let released = c.release_region(Asid::new(1)).unwrap();
-        assert_eq!(released, 4, "half-tile initial allocation returned");
-        assert_eq!(c.free_molecules(), before_free + released);
-        assert!(c.region_snapshot(Asid::new(1)).is_none());
-        assert!(c.activity().writebacks > 0, "dirty line flushed");
-        // Releasing again is a no-op.
-        assert_eq!(c.release_region(Asid::new(1)), None);
-        // A later access rebuilds a fresh region.
-        assert!(!c.access(read(1, 0)).hit);
-        assert!(c.region_snapshot(Asid::new(1)).is_some());
-    }
-
-    #[test]
-    fn rehome_moves_lookup_start() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(read(1, 0));
-        let old_home = c.regions[&Asid::new(1)].home_tile();
-        let new_tile = if old_home.index() == 0 { 1 } else { 0 };
-        assert!(c.rehome_app(Asid::new(1), new_tile));
-        // The resident line is now remote: the hit goes through Ulmo.
-        let before = c.activity().ulmo_searches;
-        assert!(c.access(read(1, 0)).hit);
-        assert!(c.activity().ulmo_searches > before);
-        // Out-of-cluster / unknown targets are rejected.
-        assert!(!c.rehome_app(Asid::new(1), 99));
-        assert!(!c.rehome_app(Asid::new(42), 0));
-    }
-
-    #[test]
-    fn access_batch_is_bit_identical_to_access_loop() {
-        // Frequent resizes plus interleaved ASIDs: the batched path must
-        // reproduce the serial path exactly, including resize timing.
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(2))
-            .trigger(ResizeTrigger::Constant { period: 64 })
-            .build()
-            .unwrap();
-        let reqs: Vec<Request> = (0..3_000u64)
-            .map(|i| {
-                let asid = 1 + (i % 3) as u16;
-                read(asid, ((asid as u64) << 36) + (i % 200) * 64)
-            })
-            .collect();
-        let mut serial = MolecularCache::new(cfg.clone());
-        let mut expected = molcache_sim::BatchOutcome::default();
-        for req in &reqs {
-            expected.note(serial.access(*req));
-        }
-        let mut batched = MolecularCache::new(cfg);
-        let mut got = molcache_sim::BatchOutcome::default();
-        // Uneven chunk sizes exercise run boundaries at both edges.
-        for chunk in reqs.chunks(777) {
-            got.merge(&batched.access_batch(chunk));
-        }
-        assert_eq!(got, expected);
-        assert_eq!(serial.stats(), batched.stats());
-        assert_eq!(serial.activity(), batched.activity());
-        assert_eq!(serial.snapshots(), batched.snapshots());
-        assert_eq!(serial.resize_rounds(), batched.resize_rounds());
-    }
-
-    #[test]
-    fn telemetry_sink_observes_without_perturbing() {
-        use molcache_telemetry::{Recorder, Sink};
-        use std::sync::{Arc, Mutex};
-        let cfg = MolecularConfig::builder()
-            .molecule_size(1024)
-            .tile_molecules(8)
-            .tiles_per_cluster(2)
-            .clusters(1)
-            .initial_allocation(InitialAllocation::Molecules(1))
-            .trigger(ResizeTrigger::Constant { period: 200 })
-            .miss_rate_goal(0.05)
-            .build()
-            .unwrap();
-        let reqs: Vec<Request> = (0..2_000u64).map(|i| read(1, (i % 256) * 64)).collect();
-
-        let mut plain = MolecularCache::new(cfg.clone());
-        for req in &reqs {
-            plain.access(*req);
-        }
-
-        let recorder: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::new("t")));
-        let sink: Arc<Mutex<dyn Sink>> = recorder.clone();
-        let mut observed = MolecularCache::new(cfg).with_sink(SinkHandle::shared(sink, 500));
-        for req in &reqs {
-            observed.access(*req);
-        }
-
-        // Observation changes nothing the simulation can see.
-        assert_eq!(plain.stats(), observed.stats());
-        assert_eq!(plain.activity(), observed.activity());
-        assert_eq!(plain.snapshots(), observed.snapshots());
-
-        let rec = recorder.lock().unwrap();
-        // 2000 accesses / 500-long epochs = 4 epoch records.
-        assert_eq!(rec.epochs().len(), 4);
-        let total: u64 = rec.epochs().iter().map(|e| e.accesses).sum();
-        assert_eq!(total, 2_000, "epoch activity deltas tile the run");
-        assert_eq!(rec.partitions().len(), 4, "one app, one sample per epoch");
-        let sampled: u64 = rec.partitions().iter().map(|s| s.accesses).sum();
-        assert_eq!(sampled, 2_000);
-        assert!(
-            rec.partitions().iter().all(|s| s.occupancy <= 1.0),
-            "occupancy is a fraction"
-        );
-        // The thrashing workload grows the partition: resize log non-empty,
-        // tagged with the constant trigger, sizes consistent.
-        assert!(!rec.resizes().is_empty());
-        for r in rec.resizes() {
-            assert_eq!(r.trigger, "constant");
-            match r.kind {
-                ResizeKind::Grow => assert_eq!(r.after, r.before + r.applied),
-                ResizeKind::Shrink => assert_eq!(r.after, r.before - r.applied),
-            }
-            assert!(r.applied <= r.requested);
-        }
-        let grew: usize = rec
-            .resizes()
-            .iter()
-            .filter(|r| r.kind == ResizeKind::Grow)
-            .map(|r| r.applied)
-            .sum();
-        assert!(grew > 0, "cold-start thrash must grow the partition");
-    }
-
-    #[test]
-    fn reset_stats_restarts_epoch_time() {
-        use molcache_telemetry::{Recorder, Sink};
-        use std::sync::{Arc, Mutex};
-        let recorder: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::new("t")));
-        let sink: Arc<Mutex<dyn Sink>> = recorder.clone();
-        let mut c = MolecularCache::new(small_config()).with_sink(SinkHandle::shared(sink, 100));
-        for i in 0..150u64 {
-            c.access(read(1, (i % 8) * 64));
-        }
-        c.reset_stats();
-        for i in 0..100u64 {
-            c.access(read(1, (i % 8) * 64));
-        }
-        let rec = recorder.lock().unwrap();
-        assert_eq!(rec.epochs().len(), 2);
-        assert_eq!(rec.epochs()[0].epoch, 0);
-        assert_eq!(rec.epochs()[1].epoch, 0, "epoch index restarts on reset");
-        assert_eq!(rec.epochs()[1].accesses, 100);
-    }
-
-    #[test]
-    fn molecular_cache_is_send() {
-        // The parallel experiment engine moves caches across worker
-        // threads; a non-Send field would break that at compile time.
-        fn assert_send<T: Send>() {}
-        assert_send::<MolecularCache>();
-    }
-
-    #[test]
-    fn snapshots_sorted_by_asid() {
-        let mut c = MolecularCache::new(small_config());
-        c.access(read(2, 0));
-        c.access(read(1, 0));
-        let snaps = c.snapshots();
-        assert_eq!(snaps.len(), 2);
-        assert!(snaps[0].asid < snaps[1].asid);
-    }
-}
+#[path = "cache_tests.rs"]
+mod tests;

@@ -59,6 +59,8 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod molecule;
+mod observe;
+pub mod pipeline;
 pub mod region;
 pub mod region_table;
 pub mod resize;
@@ -68,4 +70,5 @@ pub mod tile;
 pub use cache::MolecularCache;
 pub use config::{InitialAllocation, MolecularConfig, MolecularConfigBuilder, RegionPolicy};
 pub use error::CoreError;
+pub use pipeline::{Lfsr16, VictimPolicy};
 pub use resize::ResizeTrigger;

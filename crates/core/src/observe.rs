@@ -1,0 +1,111 @@
+//! Telemetry publish points.
+//!
+//! The cache publishes into its attached [`SinkHandle`] at three sites:
+//! per-partition samples and cache-wide activity (including the
+//! per-stage pipeline totals) when an access closes an epoch, and resize
+//! records when Algorithm 1 applies a decision. Telemetry only *reads*
+//! cache state, so results stay bit-identical whether or not a sink is
+//! attached.
+
+use crate::cache::MolecularCache;
+use crate::region::Region;
+use molcache_telemetry::{EpochActivity, EpochSample, Event, ResizeKind, ResizeRecord};
+use molcache_trace::Asid;
+
+impl MolecularCache {
+    /// Fraction of a region's line frames holding valid lines.
+    pub(crate) fn occupancy_of(&self, region: &Region) -> f64 {
+        let frames = region.size() * self.cfg.frames_per_molecule();
+        if frames == 0 {
+            return 0.0;
+        }
+        let valid: usize = region
+            .molecules()
+            .map(|id| self.molecules[id.index()].occupancy())
+            .sum();
+        valid as f64 / frames as f64
+    }
+
+    /// Publishes per-partition samples and cache-wide activity when the
+    /// current access closes an epoch.
+    pub(crate) fn maybe_close_epoch(&mut self) {
+        if !self.sink.is_enabled() || self.activity.accesses == 0 {
+            return;
+        }
+        if !self
+            .activity
+            .accesses
+            .is_multiple_of(self.sink.epoch_length())
+        {
+            return;
+        }
+        let epoch = self.epoch_index;
+        let delta = self.stats.since(&self.epoch_stats_base);
+        let samples: Vec<EpochSample> = self
+            .regions
+            .iter()
+            .map(|(asid, region)| {
+                let app = delta.app(*asid);
+                EpochSample {
+                    epoch,
+                    asid: *asid,
+                    accesses: app.accesses,
+                    misses: app.misses,
+                    molecules: region.size(),
+                    rows: region.num_rows(),
+                    occupancy: self.occupancy_of(region),
+                    goal: region.goal(),
+                }
+            })
+            .collect();
+        let base = self.epoch_activity_base;
+        let activity = EpochActivity {
+            epoch,
+            accesses: self.activity.accesses - base.accesses,
+            ways_probed: self.activity.ways_probed - base.ways_probed,
+            line_fills: self.activity.line_fills - base.line_fills,
+            writebacks: self.activity.writebacks - base.writebacks,
+            asid_compares: self.activity.asid_compares - base.asid_compares,
+            ulmo_searches: self.activity.ulmo_searches - base.ulmo_searches,
+            free_molecules: self.free_molecules(),
+            stages: self.activity.stages.since(&base.stages),
+        };
+        for sample in &samples {
+            self.sink.emit(Event::Partition(sample));
+        }
+        self.sink.emit(Event::Epoch(&activity));
+        self.epoch_index += 1;
+        self.epoch_stats_base = self.stats.clone();
+        self.epoch_activity_base = self.activity;
+    }
+
+    /// Publishes one applied resize decision.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn publish_resize(
+        &self,
+        asid: Asid,
+        kind: ResizeKind,
+        requested: usize,
+        applied: usize,
+        before: usize,
+        window_miss_rate: f64,
+        goal: f64,
+    ) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let record = ResizeRecord {
+            at_access: self.activity.accesses,
+            trigger: self.cfg.trigger().name().to_string(),
+            asid,
+            kind,
+            requested,
+            applied,
+            before,
+            after: self.regions[&asid].size(),
+            window_miss_rate,
+            goal,
+        };
+        self.sink.emit(Event::Resize(&record));
+    }
+}

@@ -1,0 +1,33 @@
+//! Stage 1 — the ASID-compare gate (§3.1).
+//!
+//! Every molecule of the addressed tile compares the requestor's ASID
+//! against its configured ASID in parallel (shared molecules pass the
+//! gate unconditionally). Only matching molecules proceed to the tag
+//! probe of [`home_lookup`](crate::pipeline::home_lookup) — non-matching
+//! molecules never spend tag/data-array energy, which is the mechanism
+//! behind the paper's dynamic-power savings.
+
+use crate::cache::MolecularCache;
+use crate::ids::TileId;
+use molcache_sim::StageTrace;
+use molcache_trace::Asid;
+
+impl MolecularCache {
+    /// Runs the ASID gate over `tile`'s molecules for `asid`.
+    ///
+    /// Charges one ASID compare per molecule of the tile to `trace` and
+    /// leaves the matching molecule ids in the reusable `gate_matches`
+    /// scratch list (cleared first), in tile order, for the tag-probe
+    /// stage to consume.
+    pub(crate) fn asid_gate(&mut self, tile: TileId, asid: Asid, trace: &mut StageTrace) {
+        let capacity = self.tiles[tile.index()].capacity();
+        trace.asid_compares += capacity as u32;
+        self.gate_matches.clear();
+        for k in 0..capacity {
+            let id = self.tiles[tile.index()].molecules()[k];
+            if self.molecules[id.index()].matches(asid) {
+                self.gate_matches.push(id);
+            }
+        }
+    }
+}

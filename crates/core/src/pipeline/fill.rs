@@ -1,0 +1,62 @@
+//! Stage 5 — the block fill (§3.2).
+//!
+//! A miss fetches the `line_factor`-line block containing the requested
+//! line and lands it in consecutive frames of the single victim molecule
+//! (consecutive lines map to consecutive frames, so an enlarged line
+//! size never straddles molecules or replacement rows). Stale copies of
+//! the block's lines elsewhere in the region are invalidated so a block
+//! fill never duplicates a line, and every dirty eviction or
+//! invalidation is counted as a writeback.
+//!
+//! The stage owns the fill/writeback counters: `Activity::line_fills`
+//! and `Activity::writebacks` are incremented here (and by the
+//! non-pipeline writeback sources — region shrink and teardown flushes —
+//! which the energy model also prices as fill-stage traffic).
+
+use crate::cache::MolecularCache;
+use crate::ids::MoleculeId;
+use molcache_sim::StageTrace;
+use molcache_trace::{Asid, LineAddr};
+
+impl MolecularCache {
+    /// Fills the `line_factor`-line block containing `line` into the
+    /// victim molecule. Each line landed counts one frame touched on
+    /// `trace`. Returns whether any writeback occurred.
+    pub(crate) fn fill_block(
+        &mut self,
+        region_asid: Asid,
+        victim: MoleculeId,
+        line: LineAddr,
+        is_write: bool,
+        trace: &mut StageTrace,
+    ) -> bool {
+        let k = self.regions[&region_asid].line_factor() as u64;
+        let block_start = LineAddr(line.0 - line.0 % k);
+        let member_ids: Vec<MoleculeId> = self.regions[&region_asid].molecules().collect();
+        let mut writeback = false;
+        for j in 0..k {
+            let l = LineAddr(block_start.0 + j);
+            // Invalidate stale copies elsewhere in the region so that a
+            // block fill never duplicates a line.
+            for id in &member_ids {
+                if *id != victim {
+                    if let Some(dirty) = self.molecules[id.index()].invalidate(l) {
+                        writeback |= dirty;
+                        if dirty {
+                            self.activity.writebacks += 1;
+                        }
+                    }
+                }
+            }
+            let dirty_fill = is_write && l == line;
+            let evicted_dirty = self.molecules[victim.index()].fill(l, dirty_fill);
+            if evicted_dirty {
+                self.activity.writebacks += 1;
+            }
+            writeback |= evicted_dirty;
+            self.activity.line_fills += 1;
+            trace.frames_touched += 1;
+        }
+        writeback
+    }
+}

@@ -1,0 +1,47 @@
+//! Stage 2 — the tag probe over the gated molecules.
+//!
+//! The molecules that passed the [`asid_gate`](crate::pipeline::asid_gate)
+//! probe their tag arrays in parallel for the requested line. In the home
+//! tile this *is* the home-lookup stage; Ulmo's cross-tile search
+//! ([`ulmo_search`](crate::pipeline::ulmo_search)) reuses the same
+//! machinery once per remote tile, charging its probes to its own trace.
+
+use crate::cache::MolecularCache;
+use crate::ids::MoleculeId;
+use molcache_sim::StageTrace;
+use molcache_trace::LineAddr;
+
+impl MolecularCache {
+    /// Probes the gated molecules (left in `gate_matches` by the ASID
+    /// gate) for `line`, charging one tag probe per gated molecule to
+    /// `trace`. On a hit the molecule's line state is updated (touch or
+    /// mark-dirty) and its id returned.
+    pub(crate) fn probe_gated(
+        &mut self,
+        line: LineAddr,
+        is_write: bool,
+        trace: &mut StageTrace,
+    ) -> Option<MoleculeId> {
+        let mut found = None;
+        for k in 0..self.gate_matches.len() {
+            let id = self.gate_matches[k];
+            trace.tag_probes += 1;
+            if found.is_some() {
+                // Remaining matching molecules still burn probe energy in
+                // the hardware's parallel lookup, but cannot also hit: a
+                // line is resident in at most one molecule.
+                continue;
+            }
+            let m = &mut self.molecules[id.index()];
+            let hit = if is_write {
+                m.mark_dirty(line)
+            } else {
+                m.touch(line)
+            };
+            if hit {
+                found = Some(id);
+            }
+        }
+        found
+    }
+}

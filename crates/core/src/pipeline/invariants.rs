@@ -1,0 +1,65 @@
+//! Cross-stage structural invariants and placement diagnostics.
+//!
+//! The pipeline stages each touch a slice of the cache's state; the
+//! checks here span stages and validate what no single stage can see on
+//! its own — chiefly that the fill stage's invalidate-then-fill protocol
+//! keeps every line resident in at most one molecule of its region, and
+//! where a block fill actually landed (used by the line-factor property
+//! tests).
+
+use crate::cache::MolecularCache;
+use crate::ids::MoleculeId;
+use molcache_trace::{Asid, LineAddr};
+
+impl MolecularCache {
+    /// Checks the structural invariant that no line is resident in more
+    /// than one molecule of the same region (diagnostics / property
+    /// tests). Returns an ASID owning a duplicated line, if any.
+    ///
+    /// One pass over every molecule: resident lines are keyed by
+    /// `(owning ASID, line)` in a hash set, so the scan is linear in the
+    /// cache's resident lines instead of quadratic per region. Free and
+    /// shared molecules carry [`Asid::NONE`] and are skipped — they
+    /// belong to no region, exactly as the per-region scan never visited
+    /// them.
+    pub fn find_duplicate_line(&self) -> Option<Asid> {
+        let mut seen: std::collections::HashSet<(Asid, LineAddr)> =
+            std::collections::HashSet::new();
+        for m in &self.molecules {
+            let asid = m.asid();
+            if asid == Asid::NONE {
+                continue;
+            }
+            for line in m.resident_lines() {
+                if !seen.insert((asid, line)) {
+                    return Some(asid);
+                }
+            }
+        }
+        None
+    }
+
+    /// The region molecule of `asid` in which `line` is resident, if any
+    /// (diagnostics; does not consult shared molecules).
+    pub fn resident_molecule_of(&self, asid: Asid, line: LineAddr) -> Option<MoleculeId> {
+        let region = self.regions.get(&asid)?;
+        region
+            .molecules()
+            .find(|id| self.molecules[id.index()].lookup(line))
+    }
+
+    /// The frame of `molecule` in which `line` is resident, if any
+    /// (diagnostics: frames map lines direct-mapped, `line % frames`).
+    pub fn resident_frame_of(&self, molecule: MoleculeId, line: LineAddr) -> Option<usize> {
+        let m = &self.molecules[molecule.index()];
+        m.lookup(line)
+            .then(|| (line.0 % m.num_frames() as u64) as usize)
+    }
+
+    /// The replacement-view row of `molecule` within `asid`'s region, if
+    /// it is a member (diagnostics: Randy's victim-row boundaries).
+    pub fn region_row_of(&self, asid: Asid, molecule: MoleculeId) -> Option<usize> {
+        let region = self.regions.get(&asid)?;
+        (0..region.num_rows()).find(|&i| region.row(i).contains(&molecule))
+    }
+}

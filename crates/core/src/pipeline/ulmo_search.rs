@@ -1,0 +1,63 @@
+//! Stage 3 — Ulmo's cross-tile search.
+//!
+//! When the home tile misses, Ulmo walks the remote tiles of the cluster
+//! that hold molecules of the requesting region, gating and probing each
+//! in turn until a tile hits or the list is exhausted. The stage is
+//! launched only when the region actually spans tiles; an unlaunched
+//! search leaves its [`StageTrace`] all-zero, so the stage cycles of the
+//! access still sum exactly to its latency.
+
+use crate::cache::MolecularCache;
+use crate::ids::{MoleculeId, TileId};
+use crate::region::Region;
+use molcache_sim::StageTrace;
+use molcache_trace::{Asid, LineAddr};
+
+impl MolecularCache {
+    /// Remote tiles of the cluster holding molecules of this region
+    /// (Ulmo's search list), excluding the home tile.
+    pub(crate) fn remote_tiles(&self, region: &Region) -> Vec<TileId> {
+        let home = region.home_tile();
+        let mut tiles: Vec<TileId> = region
+            .molecules()
+            .map(|id| self.molecules[id.index()].tile())
+            .filter(|t| *t != home)
+            .collect();
+        tiles.sort_unstable();
+        tiles.dedup();
+        tiles
+    }
+
+    /// Runs the Ulmo stage for `asid` after a home-tile miss.
+    ///
+    /// If the region spans remote tiles the search launches: the Ulmo
+    /// penalty is charged to `trace.cycles`, `ulmo_searches` is counted,
+    /// and each remote tile is ASID-gated and tag-probed (compares and
+    /// probes land in `trace`) until one hits. Returns the hit molecule,
+    /// or `None` on a cache-wide miss or when no search was launched
+    /// (distinguishable by `trace.cycles`).
+    pub(crate) fn ulmo_search(
+        &mut self,
+        asid: Asid,
+        line: LineAddr,
+        is_write: bool,
+        trace: &mut StageTrace,
+    ) -> Option<MoleculeId> {
+        let remote = {
+            let region = &self.regions[&asid];
+            self.remote_tiles(region)
+        };
+        if remote.is_empty() {
+            return None;
+        }
+        self.activity.ulmo_searches += 1;
+        trace.cycles += self.cfg.ulmo_penalty;
+        for tile in remote {
+            self.asid_gate(tile, asid, trace);
+            if let Some(hit_mol) = self.probe_gated(line, is_write, trace) {
+                return Some(hit_mol);
+            }
+        }
+        None
+    }
+}

@@ -40,10 +40,11 @@ pub struct Region {
     line_factor: u32,
     goal: f64,
     row_max: usize,
-    /// Replacement view: rows of molecules.
-    rows: Vec<Vec<MoleculeId>>,
+    /// Replacement view: rows of molecules (read and updated by the
+    /// [`VictimPolicy`](crate::pipeline::VictimPolicy) implementations).
+    pub(crate) rows: Vec<Vec<MoleculeId>>,
     /// Replacement-miss counter per row (Randy's add/remove guidance).
-    row_misses: Vec<u64>,
+    pub(crate) row_misses: Vec<u64>,
     // --- resize bookkeeping (§3.4 / Algorithm 1) ---
     window_accesses: u64,
     window_misses: u64,
@@ -54,7 +55,7 @@ pub struct Region {
     lifetime_accesses: u64,
     lifetime_hits: u64,
     /// Last-hit clock per molecule (LRU-Direct replacement state).
-    recency: std::collections::BTreeMap<MoleculeId, u64>,
+    pub(crate) recency: std::collections::BTreeMap<MoleculeId, u64>,
 }
 
 impl Region {
@@ -268,32 +269,7 @@ impl Region {
         molecule_size: u64,
         draw: u64,
     ) -> Option<MoleculeId> {
-        if self.rows.is_empty() {
-            return None;
-        }
-        match self.policy {
-            RegionPolicy::Random => {
-                let all = &self.rows[0];
-                Some(all[(draw % all.len() as u64) as usize])
-            }
-            RegionPolicy::Randy => {
-                let row_max = self.rows.len() as u64;
-                let row = ((addr.raw() / molecule_size) % row_max) as usize;
-                self.row_misses[row] += 1;
-                let candidates = &self.rows[row];
-                Some(candidates[(draw % candidates.len() as u64) as usize])
-            }
-            RegionPolicy::LruDirect => {
-                let row_max = self.rows.len() as u64;
-                let row = ((addr.raw() / molecule_size) % row_max) as usize;
-                self.row_misses[row] += 1;
-                let candidates = &self.rows[row];
-                candidates
-                    .iter()
-                    .copied()
-                    .min_by_key(|id| self.recency.get(id).copied().unwrap_or(0))
-            }
-        }
+        crate::pipeline::victim::policy_of(self.policy).select(self, addr, molecule_size, draw)
     }
 
     /// Records a hit in `id` at logical time `clock` (LRU-Direct state;

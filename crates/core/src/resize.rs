@@ -300,6 +300,178 @@ pub fn algorithm1(
     }
 }
 
+// ---- region allocation and the resize driver ---------------------------
+
+use crate::cache::MolecularCache;
+use crate::config::InitialAllocation;
+use crate::ids::{ClusterId, MoleculeId};
+use crate::region::Region;
+use molcache_telemetry::ResizeKind;
+
+impl MolecularCache {
+    /// Creates `asid`'s region on first contact ("Ground Zero", §3.4):
+    /// round-robin cluster and home-tile assignment, then the initial
+    /// molecule grant. Idempotent for existing regions.
+    pub(crate) fn ensure_region(&mut self, asid: Asid) {
+        if self.regions.contains_key(&asid) {
+            return;
+        }
+        let cluster_idx = self.cfg.app_cluster(asid).unwrap_or_else(|| {
+            let c = self.next_cluster_rr % self.cfg.clusters();
+            self.next_cluster_rr += 1;
+            c
+        });
+        let tile_pos = self.next_tile_rr[cluster_idx] % self.cfg.tiles_per_cluster();
+        self.next_tile_rr[cluster_idx] += 1;
+        let home = self.clusters[cluster_idx].tiles()[tile_pos];
+
+        let mut region = Region::new(
+            asid,
+            home,
+            ClusterId(cluster_idx as u32),
+            self.cfg.policy(),
+            self.cfg.line_factor(asid),
+            self.cfg.goal(asid),
+            self.cfg.row_max(),
+        );
+        let want = match self.cfg.initial_allocation {
+            InitialAllocation::HalfTile => self.cfg.tile_molecules() / 2,
+            InitialAllocation::Molecules(n) => n,
+        }
+        .max(1);
+        let granted = self.grant_molecules(&mut region, want);
+        region.note_allocation(granted.max(1));
+        self.resizer.register_app(asid);
+        self.regions.insert(asid, region);
+    }
+
+    /// Takes up to `want` free molecules (home tile first, then the other
+    /// tiles of the region's cluster), configures them into the region.
+    pub(crate) fn grant_molecules(&mut self, region: &mut Region, want: usize) -> usize {
+        let mut granted = 0;
+        let home = region.home_tile();
+        let cluster_tiles: Vec<crate::ids::TileId> =
+            self.clusters[region.cluster().index()].tiles().to_vec();
+        let order = std::iter::once(home).chain(cluster_tiles.into_iter().filter(|t| *t != home));
+        for tid in order {
+            while granted < want {
+                let Some(id) = self.tiles[tid.index()].take_free() else {
+                    break;
+                };
+                let flushed = self.molecules[id.index()].configure(region.asid());
+                self.activity.writebacks += flushed;
+                region.add_molecule(id);
+                granted += 1;
+            }
+            if granted >= want {
+                break;
+            }
+        }
+        if granted < want {
+            self.failed_allocations += 1;
+        }
+        granted
+    }
+
+    pub(crate) fn resize_partition(&mut self, asid: Asid) -> (u64, u64) {
+        let Some(region) = self.regions.get(&asid) else {
+            return (0, 0);
+        };
+        let window = (region.window_accesses(), {
+            let r = self.regions.get(&asid).expect("checked");
+            (r.window_miss_rate() * r.window_accesses() as f64).round() as u64
+        });
+        if region.window_accesses() == 0 {
+            // Idle partition: nothing to learn this window.
+            return window;
+        }
+        let mr = region.window_miss_rate();
+        let goal = region.goal();
+        let last = region.last_miss_rate();
+        let current = region.size();
+        let last_alloc = region.last_allocation();
+        let decision = algorithm1(
+            mr,
+            goal,
+            last,
+            current,
+            last_alloc,
+            self.cfg.max_allocation(),
+        );
+        match decision {
+            Decision::Grow(n) => {
+                let mut region = self.regions.remove(&asid).expect("present");
+                let granted = self.grant_molecules(&mut region, n);
+                region.note_allocation(granted);
+                self.regions.insert(asid, region);
+                self.publish_resize(asid, ResizeKind::Grow, n, granted, current, mr, goal);
+            }
+            Decision::Shrink(n) => {
+                let mut region = self.regions.remove(&asid).expect("present");
+                let mut removed = 0;
+                for _ in 0..n {
+                    let Some(id) =
+                        region.remove_coldest(|m| self.molecules[m.index()].miss_count())
+                    else {
+                        break;
+                    };
+                    let flushed = self.molecules[id.index()].configure(Asid::NONE);
+                    self.activity.writebacks += flushed;
+                    let tile = self.molecules[id.index()].tile();
+                    self.tiles[tile.index()].release(id);
+                    removed += 1;
+                }
+                self.regions.insert(asid, region);
+                self.publish_resize(asid, ResizeKind::Shrink, n, removed, current, mr, goal);
+            }
+            Decision::Hold => {}
+        }
+        // Close the window: store the observed miss rate, clear counters.
+        let member_ids: Vec<MoleculeId> = self.regions[&asid].molecules().collect();
+        for id in member_ids {
+            self.molecules[id.index()].reset_window_counters();
+        }
+        self.regions.get_mut(&asid).expect("present").close_window();
+        window
+    }
+
+    pub(crate) fn resize_all(&mut self) {
+        self.resize_rounds += 1;
+        self.resize_partitions_touched += self.regions.len() as u64;
+        let asids: Vec<Asid> = self.regions.keys().copied().collect();
+        let mut total_accesses = 0u64;
+        let mut total_misses = 0u64;
+        let mut weighted_goal = 0.0;
+        for asid in &asids {
+            let goal = self.regions[asid].goal();
+            let (acc, miss) = self.resize_partition(*asid);
+            total_accesses += acc;
+            total_misses += miss;
+            weighted_goal += goal * acc as f64;
+        }
+        if total_accesses > 0 {
+            let overall_mr = total_misses as f64 / total_accesses as f64;
+            let goal = weighted_goal / total_accesses as f64;
+            self.resizer.adapt_global(overall_mr, goal);
+        }
+    }
+
+    pub(crate) fn resize_one(&mut self, asid: Asid) {
+        self.resize_rounds += 1;
+        self.resize_partitions_touched += 1;
+        let Some(region) = self.regions.get(&asid) else {
+            return;
+        };
+        let goal = region.goal();
+        let mr = region.window_miss_rate();
+        let had_window = region.window_accesses() > 0;
+        self.resize_partition(asid);
+        if had_window {
+            self.resizer.adapt_app(asid, mr, goal);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,7 +2,7 @@
 
 use crate::cacti::ArrayReport;
 use crate::tech::TechNode;
-use molcache_sim::Activity;
+use molcache_sim::{Activity, Stage};
 
 /// Per-event energies used to price a simulator's [`Activity`].
 ///
@@ -94,6 +94,68 @@ impl EnergyMeter {
     pub fn power_at_mhz(&self, activity: &Activity, freq_mhz: f64) -> f64 {
         self.energy_per_access_nj(activity) * freq_mhz / 1000.0
     }
+
+    /// Dynamic energy attributed to each pipeline stage, in nanojoules,
+    /// from the activity's per-stage event counts.
+    ///
+    /// Attribution follows where the events physically happen: ASID
+    /// comparisons are priced in the stage that performed them (gate or
+    /// Ulmo), tag probes likewise (home lookup or Ulmo), Ulmo's launch
+    /// cost in the Ulmo stage, and fills in the fill stage. Writebacks
+    /// are priced entirely into the fill stage — including the
+    /// non-pipeline writebacks from region shrink and teardown flushes,
+    /// which are memory-traffic of the same array port. Victim selection
+    /// is control logic and carries no array energy. For a staged cache
+    /// (whose stage counters tile the aggregates) the stage energies sum
+    /// exactly to [`energy_j`](Self::energy_j).
+    pub fn stage_energy_nj(&self, activity: &Activity) -> StageEnergyNj {
+        let s = &activity.stages;
+        let ulmo = s.ulmo_search.tag_probes as f64 * self.probe_nj
+            + s.ulmo_search.asid_compares as f64 * self.asid_compare_nj
+            + activity.ulmo_searches as f64 * self.ulmo_search_nj;
+        StageEnergyNj {
+            asid_gate_nj: s.asid_gate.asid_compares as f64 * self.asid_compare_nj,
+            home_lookup_nj: s.home_lookup.tag_probes as f64 * self.probe_nj,
+            ulmo_search_nj: ulmo,
+            victim_nj: 0.0,
+            fill_nj: s.fill.frames_touched as f64 * self.fill_nj
+                + activity.writebacks as f64 * self.writeback_nj,
+        }
+    }
+}
+
+/// Dynamic energy of one activity record broken down by pipeline stage
+/// (nanojoules) — the power-model view of the staged access pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageEnergyNj {
+    /// §3.1 ASID gate at the home tile.
+    pub asid_gate_nj: f64,
+    /// Home-tile tag probes.
+    pub home_lookup_nj: f64,
+    /// Ulmo cross-tile search (remote compares + probes + launch cost).
+    pub ulmo_search_nj: f64,
+    /// Victim selection (control logic: no array energy).
+    pub victim_nj: f64,
+    /// Block fills plus all writeback traffic.
+    pub fill_nj: f64,
+}
+
+impl StageEnergyNj {
+    /// The energy of one stage.
+    pub fn stage(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::AsidGate => self.asid_gate_nj,
+            Stage::HomeLookup => self.home_lookup_nj,
+            Stage::UlmoSearch => self.ulmo_search_nj,
+            Stage::Victim => self.victim_nj,
+            Stage::Fill => self.fill_nj,
+        }
+    }
+
+    /// Sum over all stages.
+    pub fn total_nj(&self) -> f64 {
+        Stage::ALL.iter().map(|&s| self.stage(s)).sum()
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +223,52 @@ mod tests {
         let act = Activity::default();
         assert_eq!(meter.energy_per_access_nj(&act), 0.0);
         assert_eq!(meter.power_at_mhz(&act, 200.0), 0.0);
+    }
+
+    #[test]
+    fn stage_energy_sums_to_total_for_staged_activity() {
+        let node = TechNode::nm70();
+        let mol = CacheConfig::new(8 << 10, 1, 64).unwrap();
+        let meter = EnergyMeter::for_molecular(&analyze(&mol, &node), &node);
+        // A consistent staged record: stage counters tile the aggregates.
+        let mut act = Activity {
+            accesses: 10,
+            ways_probed: 30,
+            line_fills: 8,
+            writebacks: 3,
+            asid_compares: 640,
+            ulmo_searches: 2,
+            ..Activity::default()
+        };
+        act.stages.asid_gate.asid_compares = 600;
+        act.stages.ulmo_search.asid_compares = 40;
+        act.stages.home_lookup.tag_probes = 25;
+        act.stages.ulmo_search.tag_probes = 5;
+        act.stages.fill.frames_touched = 8;
+        let by_stage = meter.stage_energy_nj(&act);
+        let total = meter.energy_j(&act) * 1e9;
+        assert!((by_stage.total_nj() - total).abs() < 1e-9);
+        assert_eq!(by_stage.victim_nj, 0.0);
+        assert_eq!(by_stage.stage(Stage::Fill), by_stage.fill_nj);
+        assert!(by_stage.asid_gate_nj > 0.0);
+        assert!(by_stage.ulmo_search_nj > 0.0);
+    }
+
+    #[test]
+    fn unstaged_activity_prices_writebacks_and_ulmo_only() {
+        // A traditional cache has no stage counters: only the fill-stage
+        // writeback term and aggregate Ulmo launches survive.
+        let meter = traditional_meter();
+        let act = Activity {
+            accesses: 100,
+            ways_probed: 400,
+            writebacks: 10,
+            ..Activity::default()
+        };
+        let by_stage = meter.stage_energy_nj(&act);
+        assert_eq!(by_stage.asid_gate_nj, 0.0);
+        assert_eq!(by_stage.home_lookup_nj, 0.0);
+        assert!((by_stage.fill_nj - 10.0 * meter.writeback_nj).abs() < 1e-12);
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod leakage;
 pub mod tech;
 pub mod timing;
 
-pub use accounting::EnergyMeter;
+pub use accounting::{EnergyMeter, StageEnergyNj};
 pub use cacti::{analyze, ArrayReport};
 pub use tech::TechNode;

@@ -42,6 +42,7 @@ pub mod model;
 pub mod partition;
 pub mod replacement;
 pub mod set_assoc;
+pub mod stage;
 pub mod stats;
 
 pub use config::CacheConfig;
@@ -50,4 +51,5 @@ pub use model::{
     AccessObserver, AccessOutcome, Activity, BatchOutcome, CacheModel, NullObserver, Request,
 };
 pub use set_assoc::SetAssocCache;
+pub use stage::{Stage, StageActivity, StageBreakdown, StageTotals, StageTrace};
 pub use stats::{AppStats, CacheStats};

@@ -1,5 +1,6 @@
 //! The common interface every cache under test implements.
 
+use crate::stage::{StageActivity, StageBreakdown};
 use crate::stats::CacheStats;
 use molcache_trace::{AccessKind, Address, Asid, MemAccess};
 
@@ -36,6 +37,11 @@ pub struct AccessOutcome {
     /// Lines brought in from the next level (0 on a hit; >1 when the
     /// region uses an enlarged line size).
     pub lines_fetched: u32,
+    /// Per-stage breakdown of the access, for caches with a staged
+    /// pipeline (the molecular cache). `None` for models whose access
+    /// path has no stage decomposition. When present, the stage cycles
+    /// sum exactly to `latency`.
+    pub stages: Option<StageBreakdown>,
 }
 
 impl AccessOutcome {
@@ -46,6 +52,7 @@ impl AccessOutcome {
             latency,
             writeback: false,
             lines_fetched: 0,
+            stages: None,
         }
     }
 
@@ -56,7 +63,15 @@ impl AccessOutcome {
             latency,
             writeback,
             lines_fetched: 1,
+            stages: None,
         }
+    }
+
+    /// Attaches a per-stage breakdown.
+    #[must_use]
+    pub const fn with_stages(mut self, stages: StageBreakdown) -> Self {
+        self.stages = Some(stages);
+        self
     }
 }
 
@@ -81,6 +96,14 @@ pub struct Activity {
     pub asid_compares: u64,
     /// Remote-tile searches launched by Ulmo (molecular cache only).
     pub ulmo_searches: u64,
+    /// Per-stage decomposition of the counters above (staged caches
+    /// only; all-zero for models without a pipeline). For the molecular
+    /// cache the stage totals tile the aggregates: gate + Ulmo
+    /// `asid_compares` equal [`Activity::asid_compares`], home + Ulmo
+    /// `tag_probes` equal [`Activity::ways_probed`], fill
+    /// `frames_touched` equal [`Activity::line_fills`], and the stage
+    /// cycles sum to the total latency of all serviced accesses.
+    pub stages: StageActivity,
 }
 
 impl Activity {
@@ -92,6 +115,18 @@ impl Activity {
         self.writebacks += other.writebacks;
         self.asid_compares += other.asid_compares;
         self.ulmo_searches += other.ulmo_searches;
+        self.stages.merge(&other.stages);
+    }
+
+    /// Folds one access's stage breakdown into the record: the per-stage
+    /// totals absorb the traces, and the aggregate compare/probe counters
+    /// absorb the stage sums (fills and writebacks are counted by the
+    /// fill machinery itself, which also owns their non-pipeline sources
+    /// such as region teardown flushes).
+    pub fn record_stages(&mut self, b: &StageBreakdown) {
+        self.asid_compares += u64::from(b.total_asid_compares());
+        self.ways_probed += u64::from(b.total_tag_probes());
+        self.stages.absorb(b);
     }
 
     /// Average ways/molecules probed per access.

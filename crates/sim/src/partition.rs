@@ -247,6 +247,7 @@ impl CacheModel for ModifiedLruCache {
                     latency: self.cfg.hit_latency() + self.cfg.miss_penalty(),
                     writeback: false,
                     lines_fetched: 0,
+                    stages: None,
                 };
             }
             self.policies[set].victim_among(&own, &mut self.rng)

@@ -159,6 +159,7 @@ impl CacheModel for SetAssocCache {
                 latency: self.cfg.hit_latency() + self.cfg.miss_penalty(),
                 writeback: false,
                 lines_fetched: 0,
+                stages: None,
             };
         }
 

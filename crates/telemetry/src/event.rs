@@ -57,6 +57,9 @@ pub struct EpochActivity {
     pub ulmo_searches: u64,
     /// Unallocated molecules at epoch close.
     pub free_molecules: usize,
+    /// Per-pipeline-stage deltas of the counters above (all-zero for
+    /// caches without a staged pipeline).
+    pub stages: molcache_sim::StageActivity,
 }
 
 impl EpochActivity {
@@ -70,6 +73,7 @@ impl EpochActivity {
             writebacks: self.writebacks,
             asid_compares: self.asid_compares,
             ulmo_searches: self.ulmo_searches,
+            stages: self.stages,
         }
     }
 }
@@ -175,6 +179,7 @@ mod tests {
             asid_compares: 20,
             ulmo_searches: 4,
             free_molecules: 7,
+            stages: molcache_sim::StageActivity::default(),
         };
         let a = e.as_activity();
         assert_eq!(a.accesses, 10);

@@ -154,6 +154,33 @@ impl Recorder {
                 if let Some(nj) = self.epoch_energy_nj(e) {
                     fields.push(("energy_nj".into(), Value::Number(nj)));
                 }
+                let stage_energy = self
+                    .energy
+                    .map(|meter| meter.stage_energy_nj(&e.as_activity()));
+                let stages: Vec<Value> = e
+                    .stages
+                    .iter()
+                    .map(|(stage, totals)| {
+                        let mut f = vec![
+                            ("stage".into(), Value::String(stage.name().into())),
+                            ("cycles".into(), Value::Number(totals.cycles as f64)),
+                            (
+                                "asid_compares".into(),
+                                Value::Number(totals.asid_compares as f64),
+                            ),
+                            ("tag_probes".into(), Value::Number(totals.tag_probes as f64)),
+                            (
+                                "frames_touched".into(),
+                                Value::Number(totals.frames_touched as f64),
+                            ),
+                        ];
+                        if let Some(se) = &stage_energy {
+                            f.push(("energy_nj".into(), Value::Number(se.stage(stage))));
+                        }
+                        Value::Object(f)
+                    })
+                    .collect();
+                fields.push(("stages".into(), Value::Array(stages)));
                 Value::Object(fields)
             })
             .collect();
@@ -415,6 +442,17 @@ mod tests {
             asid_compares: 8,
             ulmo_searches: 1,
             free_molecules: 10,
+            stages: {
+                let mut s = molcache_sim::StageActivity::default();
+                s.asid_gate.asid_compares = 8;
+                s.asid_gate.cycles = 2;
+                s.home_lookup.tag_probes = 8;
+                s.home_lookup.cycles = 8;
+                s.ulmo_search.cycles = 8;
+                s.fill.frames_touched = 1;
+                s.fill.cycles = 200;
+                s
+            },
         };
         rec.record(&Event::Epoch(&epoch));
         let resize = ResizeRecord {
@@ -483,6 +521,39 @@ mod tests {
         let epochs = doc.get("epochs").unwrap().as_array().unwrap();
         let exported = epochs[0].get("energy_nj").unwrap().as_f64().unwrap();
         assert!((exported - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn export_carries_per_stage_epoch_series() {
+        let mut rec = sample_recorder();
+        rec.set_energy_meter(EnergyMeter {
+            probe_nj: 1.0,
+            fill_nj: 2.0,
+            writeback_nj: 3.0,
+            asid_compare_nj: 0.5,
+            ulmo_search_nj: 4.0,
+        });
+        let doc = parse(&rec.to_json().unwrap()).unwrap();
+        let epochs = doc.get("epochs").unwrap().as_array().unwrap();
+        let stages = epochs[0].get("stages").unwrap().as_array().unwrap();
+        assert_eq!(stages.len(), 5, "one record per pipeline stage");
+        assert_eq!(stages[0].get("stage").unwrap().as_str(), Some("asid-gate"));
+        assert_eq!(stages[0].get("asid_compares").unwrap().as_f64(), Some(8.0));
+        assert_eq!(
+            stages[1].get("stage").unwrap().as_str(),
+            Some("home-lookup")
+        );
+        assert_eq!(stages[1].get("tag_probes").unwrap().as_f64(), Some(8.0));
+        assert_eq!(stages[4].get("stage").unwrap().as_str(), Some("fill"));
+        assert_eq!(stages[4].get("frames_touched").unwrap().as_f64(), Some(1.0));
+        // With a meter set, each stage also carries its energy, and the
+        // stage energies sum to the epoch's total.
+        let total: f64 = stages
+            .iter()
+            .map(|s| s.get("energy_nj").unwrap().as_f64().unwrap())
+            .sum();
+        let epoch_nj = epochs[0].get("energy_nj").unwrap().as_f64().unwrap();
+        assert!((total - epoch_nj).abs() < 1e-9, "{total} vs {epoch_nj}");
     }
 
     #[test]
