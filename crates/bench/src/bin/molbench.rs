@@ -1,0 +1,390 @@
+//! `molbench` — wall-clock performance harness for the molecular cache.
+//!
+//! Runs a fixed suite of workloads through the simulator, measures
+//! ns/access and accesses/sec with warm-up and repeated samples
+//! (min/median/mean over individually-timed iterations), and emits a
+//! schema-versioned `BENCH_<date>.json` (`molcache-bench-v1`) carrying
+//! the machine info next to the numbers. The suite:
+//!
+//! | workload | what it drives |
+//! |---|---|
+//! | `single:<bm>` | one benchmark's stream through a 1 MB molecular cache |
+//! | `mixed12` | the Table 2 MIXED12 workload through the 6 MB cache |
+//! | `access_batch` | the same MIXED12 stream via `access_batch` chunks |
+//! | `engine_sweep_x4` | four SPEC4 experiments fanned out through `Engine` |
+//!
+//! ```text
+//! molbench                                   # full suite, writes results/BENCH_<date>.json
+//! molbench --smoke                           # reduced scale for CI
+//! molbench --compare results/BENCH_baseline.json   # exit 1 on >20% regression
+//! ```
+//!
+//! Built with `--features stage-profiler`, a separate profiled pass also
+//! reports where the *host* nanoseconds go across the five pipeline
+//! stages, next to the simulated-cycle split; default builds print the
+//! split as unavailable and stay bit-identical on the access path.
+
+use molcache_bench::experiments::table2;
+use molcache_bench::harness::{molecular_cache, run_workload_on, Engine};
+use molcache_bench::machine::MachineInfo;
+use molcache_bench::report::{
+    compare, regressions, render_comparison, today_utc, BenchDoc, StageProfileRecord,
+    WorkloadResult, REGRESSION_TOLERANCE,
+};
+use molcache_bench::stopwatch::{machine_line, measure, section, Timing};
+use molcache_core::{MolecularCache, RegionPolicy};
+use molcache_sim::{CacheModel, Request};
+use molcache_trace::gen::{BoxedSource, TraceSource};
+use molcache_trace::interleave::Workload;
+use molcache_trace::presets::Benchmark;
+use molcache_trace::Asid;
+use std::time::{Duration, Instant};
+
+/// Benchmarks the single-stream workloads cover: one cache-friendly
+/// (crc), one streaming (mcf), two mixed-locality (ammp, parser).
+const SINGLES: [Benchmark; 4] = [
+    Benchmark::Ammp,
+    Benchmark::Mcf,
+    Benchmark::Crc,
+    Benchmark::Parser,
+];
+
+/// Worker count of the `engine_sweep_x4` workload (fixed, not
+/// host-derived: workload definitions must be identical across machines
+/// for `--compare` to match them up).
+const SWEEP_JOBS: usize = 4;
+
+/// Chunk size of the `access_batch` workload — matches the batched
+/// driver in `molcache_sim::cmp`.
+const BATCH_CHUNK: usize = 1024;
+
+#[derive(Debug, Clone)]
+struct Args {
+    smoke: bool,
+    refs: u64,
+    samples: usize,
+    budget: Duration,
+    seed: u64,
+    out_dir: String,
+    write: bool,
+    compare_to: Option<String>,
+    tolerance: f64,
+    profile_every: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: molbench [--smoke] [--refs N] [--samples N] [--budget-ms N]\n\
+         \u{20}              [--seed N] [--out DIR] [--no-write]\n\
+         \u{20}              [--compare FILE] [--tolerance F] [--profile-every N]\n\
+         \u{20} --smoke         reduced scale (CI): fewer refs, tighter budget\n\
+         \u{20} --refs          accesses per timed iteration (default 100000)\n\
+         \u{20} --samples       max timed iterations per workload (default 15)\n\
+         \u{20} --budget-ms     per-workload sampling budget (default 1500)\n\
+         \u{20} --out           directory for BENCH_<date>.json (default results)\n\
+         \u{20} --no-write      skip writing the BENCH_<date>.json record\n\
+         \u{20} --compare FILE  diff against a baseline record; exit 1 when any\n\
+         \u{20}                 workload regresses by more than the tolerance\n\
+         \u{20} --tolerance F   regression tolerance (default 0.20 = 20%)\n\
+         \u{20} --profile-every sample stride of the stage profiler (default 64;\n\
+         \u{20}                 needs a build with --features stage-profiler)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        refs: 100_000,
+        samples: 15,
+        budget: Duration::from_millis(1_500),
+        seed: 7,
+        out_dir: "results".into(),
+        write: true,
+        compare_to: None,
+        tolerance: REGRESSION_TOLERANCE,
+        profile_every: 64,
+    };
+    let mut refs_set = false;
+    let mut budget_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--smoke" => args.smoke = true,
+            "--refs" => {
+                args.refs = value().parse().unwrap_or_else(|_| usage());
+                refs_set = true;
+            }
+            "--samples" => args.samples = value().parse().unwrap_or_else(|_| usage()),
+            "--budget-ms" => {
+                args.budget = Duration::from_millis(value().parse().unwrap_or_else(|_| usage()));
+                budget_set = true;
+            }
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out_dir = value(),
+            "--no-write" => args.write = false,
+            "--compare" => args.compare_to = Some(value()),
+            "--tolerance" => args.tolerance = value().parse().unwrap_or_else(|_| usage()),
+            "--profile-every" => args.profile_every = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.smoke {
+        if !refs_set {
+            args.refs = 20_000;
+        }
+        // Keep the full sample count at smoke scale: the gate statistic
+        // is best-of-N, and a deeper N is what makes it noise-robust.
+        if !budget_set {
+            args.budget = Duration::from_millis(600);
+        }
+    }
+    if args.refs == 0 || args.samples == 0 || args.tolerance < 0.0 {
+        usage();
+    }
+    args
+}
+
+/// One benchmark's stream as a replayable request vector.
+fn single_requests(bm: Benchmark, n: u64, seed: u64) -> Vec<Request> {
+    let mut src = bm.source(Asid::new(1), seed);
+    src.collect_n(n as usize)
+        .into_iter()
+        .map(Request::from)
+        .collect()
+}
+
+/// The MIXED12 round-robin interleaving as a replayable request vector.
+fn mixed12_requests(n: u64, seed: u64) -> Vec<Request> {
+    let sources: Vec<BoxedSource> = molcache_trace::presets::workload(&Benchmark::MIXED12, seed)
+        .into_iter()
+        .map(|(_, src)| src)
+        .collect();
+    Workload::new(sources)
+        .expect("preset workload is valid")
+        .round_robin()
+        .take(n as usize)
+        .map(Request::from)
+        .collect()
+}
+
+/// The 1 MB single-app cache the microbenches also use.
+fn cache_1mb(seed: u64) -> MolecularCache {
+    molecular_cache(1 << 20, 1, 4, RegionPolicy::Randy, 0.1, seed)
+}
+
+/// Runs the whole suite, printing one human + one `#BENCH` line per
+/// workload, and returns the normalized results in suite order.
+fn run_suite(args: &Args) -> Vec<WorkloadResult> {
+    let mut results = Vec::new();
+    let mut record = |name: &str, accesses: u64, t: &Timing| {
+        println!("{}", machine_line(name, Some(accesses), t));
+        results.push(WorkloadResult::from_timing(name, accesses, t));
+    };
+
+    section("single-stream");
+    for bm in SINGLES {
+        let reqs = single_requests(bm, args.refs, args.seed);
+        let mut cache = cache_1mb(args.seed);
+        let t = measure(args.samples, args.budget, &mut || {
+            for req in &reqs {
+                std::hint::black_box(cache.access(*req));
+            }
+        });
+        record(
+            &format!("single:{}", bm.name().to_ascii_lowercase()),
+            args.refs,
+            &t,
+        );
+    }
+
+    section("mixed12");
+    let reqs = mixed12_requests(args.refs, args.seed);
+    let mut cache = table2::molecular_6mb(RegionPolicy::Randy, args.seed);
+    let t = measure(args.samples, args.budget, &mut || {
+        for req in &reqs {
+            std::hint::black_box(cache.access(*req));
+        }
+    });
+    record("mixed12", args.refs, &t);
+
+    section("access_batch");
+    let mut cache = table2::molecular_6mb(RegionPolicy::Randy, args.seed);
+    let t = measure(args.samples, args.budget, &mut || {
+        for chunk in reqs.chunks(BATCH_CHUNK) {
+            std::hint::black_box(cache.access_batch(chunk));
+        }
+    });
+    record("access_batch", args.refs, &t);
+
+    section("engine");
+    let per_item = (args.refs / SWEEP_JOBS as u64).max(1);
+    let seed = args.seed;
+    let t = measure(args.samples, args.budget, &mut || {
+        let engine = Engine::new(SWEEP_JOBS);
+        let summaries = engine.run(vec![1u64, 2, 3, 4], |item| {
+            let mut cache = molecular_cache(1 << 20, 1, 4, RegionPolicy::Randy, 0.1, item);
+            run_workload_on(
+                &Benchmark::SPEC4,
+                &mut cache,
+                per_item,
+                seed.wrapping_add(item),
+            )
+        });
+        std::hint::black_box(summaries);
+    });
+    record("engine_sweep_x4", per_item * SWEEP_JOBS as u64, &t);
+
+    results
+}
+
+/// Runs the profiled MIXED12 pass and renders the host-time split next
+/// to the simulated-cycle split. Returns the record for the JSON doc, or
+/// `None` when the binary was built without the `stage-profiler`
+/// feature.
+fn run_stage_profile(args: &Args) -> Option<StageProfileRecord> {
+    section("stage wall-time profile");
+    let reqs = mixed12_requests(args.refs, args.seed);
+    let mut cache = table2::molecular_6mb(RegionPolicy::Randy, args.seed);
+    cache.enable_stage_profiler(args.profile_every);
+    let wall = Instant::now();
+    for req in &reqs {
+        std::hint::black_box(cache.access(*req));
+    }
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let Some(profile) = cache.stage_wall_profile() else {
+        println!(
+            "stage profiler not compiled in; rebuild with \
+             `--features stage-profiler` for the host-time split"
+        );
+        return None;
+    };
+    let activity = cache.activity();
+    let sim_total = activity.stages.total_cycles().max(1);
+    let host_total = profile.total_sampled_ns().max(1);
+    println!(
+        "mixed12, {} accesses, every {}th sampled ({} sampled, {} ns wall):",
+        args.refs, args.profile_every, profile.sampled_accesses, wall_ns
+    );
+    println!(
+        "  {:<12} {:>14} {:>7} {:>14} {:>7}",
+        "stage", "sim-cycles", "sim-%", "host-ns", "host-%"
+    );
+    for (stage, totals) in activity.stages.iter() {
+        let host_ns = profile.stage_ns_of(stage);
+        println!(
+            "  {:<12} {:>14} {:>6.1}% {:>14} {:>6.1}%",
+            stage.name(),
+            totals.cycles,
+            totals.cycles as f64 * 100.0 / sim_total as f64,
+            host_ns,
+            host_ns as f64 * 100.0 / host_total as f64,
+        );
+    }
+    Some(StageProfileRecord {
+        sample_every: profile.sample_every,
+        sampled_accesses: profile.sampled_accesses,
+        stages: profile
+            .iter()
+            .map(|(stage, ns)| (stage.name().to_string(), ns))
+            .collect(),
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = MachineInfo::detect();
+    println!(
+        "molbench: {} ({} cores), {}, rev {}{}",
+        machine.cpu_model,
+        machine.cores,
+        machine.rustc,
+        machine.git_sha,
+        if args.smoke { " [smoke]" } else { "" },
+    );
+
+    let workloads = run_suite(&args);
+    let stage_profile = run_stage_profile(&args);
+
+    let doc = BenchDoc {
+        date: today_utc(),
+        smoke: args.smoke,
+        machine,
+        workloads,
+        stage_profile,
+    };
+
+    println!();
+    for w in &doc.workloads {
+        println!(
+            "{:<24} {:>10.1} ns/access (median)   {:>12.0} accesses/sec (best)",
+            w.name, w.median_ns_per_access, w.accesses_per_sec
+        );
+    }
+
+    let json = match doc.to_json() {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("molbench: BENCH record serialization failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if args.write {
+        let path = std::path::Path::new(&args.out_dir).join(doc.file_name());
+        if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+            eprintln!("molbench: cannot create {}: {e}", args.out_dir);
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("molbench: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("\nwrote {}", path.display());
+    }
+
+    if let Some(baseline_path) = &args.compare_to {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("molbench: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline = match BenchDoc::from_json(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("molbench: invalid baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if baseline.smoke != doc.smoke {
+            // Workloads with fixed per-iteration setup (engine_sweep)
+            // amortize differently across scales; the gate is only fair
+            // scale-against-scale.
+            eprintln!(
+                "molbench: warning: comparing a {} run against a {} baseline — \
+                 deltas are not scale-fair",
+                if doc.smoke { "smoke" } else { "full" },
+                if baseline.smoke { "smoke" } else { "full" },
+            );
+        }
+        let deltas = compare(&baseline, &doc, args.tolerance);
+        println!(
+            "\ncomparison against {baseline_path} ({}, {}):",
+            baseline.date, baseline.machine.cpu_model
+        );
+        print!("{}", render_comparison(&deltas, args.tolerance));
+        let failed = regressions(&deltas);
+        if !failed.is_empty() {
+            eprintln!(
+                "molbench: {} workload(s) regressed beyond {:.0}%",
+                failed.len(),
+                args.tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("no regressions beyond {:.0}%", args.tolerance * 100.0);
+    }
+}

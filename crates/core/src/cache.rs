@@ -12,6 +12,7 @@
 use crate::config::MolecularConfig;
 use crate::ids::{ClusterId, MoleculeId, TileId};
 use crate::molecule::Molecule;
+use crate::profiler::StageWallProfile;
 use crate::region::Region;
 use crate::region_table::RegionTable;
 use crate::resize::{ResizeController, ResizeEvent};
@@ -56,6 +57,10 @@ pub struct MolecularCache {
     /// Scratch list the ASID gate hands to the tag-probe stage (reused
     /// across accesses to keep the gate allocation-free).
     pub(crate) gate_matches: Vec<MoleculeId>,
+    /// Wall-time stage sampler (only with the `stage-profiler` feature;
+    /// default builds carry no sampler state at all).
+    #[cfg(feature = "stage-profiler")]
+    pub(crate) sampler: crate::profiler::StageSampler,
 }
 
 impl MolecularCache {
@@ -111,7 +116,38 @@ impl MolecularCache {
             epoch_stats_base: CacheStats::new(),
             epoch_activity_base: Activity::default(),
             gate_matches: Vec::with_capacity(tile_molecules),
+            #[cfg(feature = "stage-profiler")]
+            sampler: crate::profiler::StageSampler::default(),
         }
+    }
+
+    /// Enables the sampling wall-time stage profiler: every
+    /// `sample_every`-th access is timed with `Instant` around each
+    /// pipeline stage, so profiler overhead stays bounded at ten clock
+    /// reads per `sample_every` accesses. `sample_every == 0` disables
+    /// sampling again.
+    ///
+    /// A no-op unless the crate is built with the `stage-profiler`
+    /// feature — default builds never read the clock on the access path.
+    pub fn enable_stage_profiler(&mut self, sample_every: u64) {
+        #[cfg(feature = "stage-profiler")]
+        {
+            self.sampler.sample_every = sample_every;
+            self.sampler.profile.sample_every = sample_every;
+        }
+        #[cfg(not(feature = "stage-profiler"))]
+        let _ = sample_every;
+    }
+
+    /// The sampled wall-time stage profile, when the `stage-profiler`
+    /// feature is compiled in and sampling was enabled; `None` otherwise,
+    /// which callers render as a `-` column.
+    pub fn stage_wall_profile(&self) -> Option<StageWallProfile> {
+        #[cfg(feature = "stage-profiler")]
+        if self.sampler.sample_every > 0 {
+            return Some(self.sampler.profile);
+        }
+        None
     }
 
     /// Attaches a telemetry sink. The cache publishes per-partition epoch
@@ -335,6 +371,31 @@ impl CacheModel for MolecularCache {
     }
 }
 
+/// Times `$body` (one pipeline-stage call) into the sampler's slot
+/// `$idx` when `$sampled` is set. Expands to the bare `$body` without the
+/// `stage-profiler` feature, so default builds gain no code on the access
+/// path.
+#[cfg(feature = "stage-profiler")]
+macro_rules! timed_stage {
+    ($cache:expr, $sampled:expr, $idx:expr, $body:expr) => {{
+        if $sampled {
+            let __start = std::time::Instant::now();
+            let __out = $body;
+            $cache.sampler.profile.stage_ns[$idx] += __start.elapsed().as_nanos() as u64;
+            __out
+        } else {
+            $body
+        }
+    }};
+}
+#[cfg(not(feature = "stage-profiler"))]
+macro_rules! timed_stage {
+    ($cache:expr, $sampled:expr, $idx:expr, $body:expr) => {{
+        let _ = $sampled;
+        $body
+    }};
+}
+
 impl MolecularCache {
     /// Drives one request through the five-stage pipeline.
     ///
@@ -351,19 +412,38 @@ impl MolecularCache {
         let is_write = req.kind.is_write();
         let home = self.regions[&asid].home_tile();
         let mut stages = StageBreakdown::default();
+        #[cfg(feature = "stage-profiler")]
+        let sampled = self.sampler.begin_access();
+        #[cfg(not(feature = "stage-profiler"))]
+        let sampled = false;
 
         // Stage 1 — ASID gate, stage 2 — home-tile tag probe.
         stages.asid_gate.cycles = self.cfg.asid_stage_cycles;
         stages.home_lookup.cycles = self.cfg.hit_latency;
         let mut latency = self.cfg.asid_stage_cycles + self.cfg.hit_latency;
-        self.asid_gate(home, asid, &mut stages.asid_gate);
-        if let Some(hit_mol) = self.probe_gated(line, is_write, &mut stages.home_lookup) {
+        timed_stage!(
+            self,
+            sampled,
+            0,
+            self.asid_gate(home, asid, &mut stages.asid_gate)
+        );
+        if let Some(hit_mol) = timed_stage!(
+            self,
+            sampled,
+            1,
+            self.probe_gated(line, is_write, &mut stages.home_lookup)
+        ) {
             return self.finish_hit(asid, hit_mol, latency, stages);
         }
 
         // Stage 3 — Ulmo cross-tile search (charges its penalty to its
         // trace only when the region actually spans tiles).
-        let remote_hit = self.ulmo_search(asid, line, is_write, &mut stages.ulmo_search);
+        let remote_hit = timed_stage!(
+            self,
+            sampled,
+            2,
+            self.ulmo_search(asid, line, is_write, &mut stages.ulmo_search)
+        );
         latency += stages.ulmo_search.cycles;
         if let Some(hit_mol) = remote_hit {
             return self.finish_hit(asid, hit_mol, latency, stages);
@@ -376,7 +456,8 @@ impl MolecularCache {
             .get_mut(&asid)
             .expect("region")
             .record_access(true);
-        let Some(victim) = self.victim_select(asid, req.addr, home) else {
+        let Some(victim) = timed_stage!(self, sampled, 3, self.victim_select(asid, req.addr, home))
+        else {
             // No region molecules and no shared fallback: the request
             // bypasses the cache entirely (fill stage touches no frame).
             self.stats.record(asid, false, false, latency);
@@ -390,7 +471,12 @@ impl MolecularCache {
             };
         };
         self.molecules[victim.index()].record_replacement_miss();
-        let writeback = self.fill_block(asid, victim, line, is_write, &mut stages.fill);
+        let writeback = timed_stage!(
+            self,
+            sampled,
+            4,
+            self.fill_block(asid, victim, line, is_write, &mut stages.fill)
+        );
         self.stats.record(asid, false, writeback, latency);
         self.activity.record_stages(&stages);
         AccessOutcome {

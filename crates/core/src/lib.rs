@@ -61,6 +61,7 @@ pub mod ids;
 pub mod molecule;
 mod observe;
 pub mod pipeline;
+pub mod profiler;
 pub mod region;
 pub mod region_table;
 pub mod resize;
@@ -71,4 +72,5 @@ pub use cache::MolecularCache;
 pub use config::{InitialAllocation, MolecularConfig, MolecularConfigBuilder, RegionPolicy};
 pub use error::CoreError;
 pub use pipeline::{Lfsr16, VictimPolicy};
+pub use profiler::StageWallProfile;
 pub use resize::ResizeTrigger;
