@@ -28,8 +28,8 @@ use molcache_bench::experiments::table2;
 use molcache_bench::harness::{molecular_cache, run_workload_on, Engine};
 use molcache_bench::machine::MachineInfo;
 use molcache_bench::report::{
-    compare, regressions, render_comparison, today_utc, BenchDoc, StageProfileRecord,
-    WorkloadResult, REGRESSION_TOLERANCE,
+    compare, floor_check, regressions, render_comparison, scale_fairness_warning, today_utc,
+    BenchDoc, StageProfileRecord, WorkloadResult, REGRESSION_TOLERANCE,
 };
 use molcache_bench::stopwatch::{machine_line, measure, section, Timing};
 use molcache_core::{MolecularCache, RegionPolicy};
@@ -66,25 +66,36 @@ struct Args {
     budget: Duration,
     seed: u64,
     out_dir: String,
+    out_file: Option<String>,
     write: bool,
     compare_to: Option<String>,
+    floor: Option<String>,
     tolerance: f64,
     profile_every: u64,
+    memo: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: molbench [--smoke] [--refs N] [--samples N] [--budget-ms N]\n\
-         \u{20}              [--seed N] [--out DIR] [--no-write]\n\
-         \u{20}              [--compare FILE] [--tolerance F] [--profile-every N]\n\
+         \u{20}              [--seed N] [--out DIR] [--out-file NAME] [--no-write]\n\
+         \u{20}              [--compare FILE] [--floor FILE] [--tolerance F]\n\
+         \u{20}              [--no-memo] [--profile-every N]\n\
          \u{20} --smoke         reduced scale (CI): fewer refs, tighter budget\n\
          \u{20} --refs          accesses per timed iteration (default 100000)\n\
          \u{20} --samples       max timed iterations per workload (default 15)\n\
          \u{20} --budget-ms     per-workload sampling budget (default 1500)\n\
          \u{20} --out           directory for BENCH_<date>.json (default results)\n\
+         \u{20} --out-file      record file name inside the out dir (default\n\
+         \u{20}                 BENCH_<date>.json; use to keep several same-day\n\
+         \u{20}                 records apart, e.g. BENCH_<date>-memo-off.json)\n\
          \u{20} --no-write      skip writing the BENCH_<date>.json record\n\
+         \u{20} --no-memo       disable the memoization front-end for the run\n\
+         \u{20}                 (measures the raw staged pipeline)\n\
          \u{20} --compare FILE  diff against a baseline record; exit 1 when any\n\
          \u{20}                 workload regresses by more than the tolerance\n\
+         \u{20} --floor FILE    exit 1 when any single:* workload is slower than\n\
+         \u{20}                 in FILE (CI's memo-on vs memo-off gate)\n\
          \u{20} --tolerance F   regression tolerance (default 0.20 = 20%)\n\
          \u{20} --profile-every sample stride of the stage profiler (default 64;\n\
          \u{20}                 needs a build with --features stage-profiler)"
@@ -100,10 +111,13 @@ fn parse_args() -> Args {
         budget: Duration::from_millis(1_500),
         seed: 7,
         out_dir: "results".into(),
+        out_file: None,
         write: true,
         compare_to: None,
+        floor: None,
         tolerance: REGRESSION_TOLERANCE,
         profile_every: 64,
+        memo: true,
     };
     let mut refs_set = false;
     let mut budget_set = false;
@@ -123,8 +137,11 @@ fn parse_args() -> Args {
             }
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
             "--out" => args.out_dir = value(),
+            "--out-file" => args.out_file = Some(value()),
             "--no-write" => args.write = false,
+            "--no-memo" => args.memo = false,
             "--compare" => args.compare_to = Some(value()),
+            "--floor" => args.floor = Some(value()),
             "--tolerance" => args.tolerance = value().parse().unwrap_or_else(|_| usage()),
             "--profile-every" => args.profile_every = value().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
@@ -175,6 +192,22 @@ fn cache_1mb(seed: u64) -> MolecularCache {
     molecular_cache(1 << 20, 1, 4, RegionPolicy::Randy, 0.1, seed)
 }
 
+/// One line of memo front-end effectiveness for a finished workload.
+fn memo_line(cache: &MolecularCache) -> String {
+    match cache.memo_stats() {
+        Some(s) if s.enabled => format!(
+            "  memo: {} hits / {} lookups ({:.1}% hit rate), {} stale, {} generation bumps",
+            s.hits,
+            s.lookups(),
+            s.hit_rate() * 100.0,
+            s.stale,
+            s.generation_bumps,
+        ),
+        Some(_) => "  memo: disabled (--no-memo)".into(),
+        None => "  memo: not compiled in (built without the memo-front feature)".into(),
+    }
+}
+
 /// Runs the whole suite, printing one human + one `#BENCH` line per
 /// workload, and returns the normalized results in suite order.
 fn run_suite(args: &Args) -> Vec<WorkloadResult> {
@@ -188,6 +221,7 @@ fn run_suite(args: &Args) -> Vec<WorkloadResult> {
     for bm in SINGLES {
         let reqs = single_requests(bm, args.refs, args.seed);
         let mut cache = cache_1mb(args.seed);
+        cache.set_memo_front(args.memo);
         let t = measure(args.samples, args.budget, &mut || {
             for req in &reqs {
                 std::hint::black_box(cache.access(*req));
@@ -198,34 +232,41 @@ fn run_suite(args: &Args) -> Vec<WorkloadResult> {
             args.refs,
             &t,
         );
+        println!("{}", memo_line(&cache));
     }
 
     section("mixed12");
     let reqs = mixed12_requests(args.refs, args.seed);
     let mut cache = table2::molecular_6mb(RegionPolicy::Randy, args.seed);
+    cache.set_memo_front(args.memo);
     let t = measure(args.samples, args.budget, &mut || {
         for req in &reqs {
             std::hint::black_box(cache.access(*req));
         }
     });
     record("mixed12", args.refs, &t);
+    println!("{}", memo_line(&cache));
 
     section("access_batch");
     let mut cache = table2::molecular_6mb(RegionPolicy::Randy, args.seed);
+    cache.set_memo_front(args.memo);
     let t = measure(args.samples, args.budget, &mut || {
         for chunk in reqs.chunks(BATCH_CHUNK) {
             std::hint::black_box(cache.access_batch(chunk));
         }
     });
     record("access_batch", args.refs, &t);
+    println!("{}", memo_line(&cache));
 
     section("engine");
     let per_item = (args.refs / SWEEP_JOBS as u64).max(1);
     let seed = args.seed;
+    let memo = args.memo;
     let t = measure(args.samples, args.budget, &mut || {
         let engine = Engine::new(SWEEP_JOBS);
         let summaries = engine.run(vec![1u64, 2, 3, 4], |item| {
             let mut cache = molecular_cache(1 << 20, 1, 4, RegionPolicy::Randy, 0.1, item);
+            cache.set_memo_front(memo);
             run_workload_on(
                 &Benchmark::SPEC4,
                 &mut cache,
@@ -248,6 +289,7 @@ fn run_stage_profile(args: &Args) -> Option<StageProfileRecord> {
     section("stage wall-time profile");
     let reqs = mixed12_requests(args.refs, args.seed);
     let mut cache = table2::molecular_6mb(RegionPolicy::Randy, args.seed);
+    cache.set_memo_front(args.memo);
     cache.enable_stage_profiler(args.profile_every);
     let wall = Instant::now();
     for req in &reqs {
@@ -311,6 +353,7 @@ fn main() {
     let doc = BenchDoc {
         date: today_utc(),
         smoke: args.smoke,
+        memo: Some(cfg!(feature = "memo-front") && args.memo),
         machine,
         workloads,
         stage_profile,
@@ -332,7 +375,8 @@ fn main() {
         }
     };
     if args.write {
-        let path = std::path::Path::new(&args.out_dir).join(doc.file_name());
+        let file_name = args.out_file.clone().unwrap_or_else(|| doc.file_name());
+        let path = std::path::Path::new(&args.out_dir).join(file_name);
         if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
             eprintln!("molbench: cannot create {}: {e}", args.out_dir);
             std::process::exit(1);
@@ -359,16 +403,9 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        if baseline.smoke != doc.smoke {
-            // Workloads with fixed per-iteration setup (engine_sweep)
-            // amortize differently across scales; the gate is only fair
-            // scale-against-scale.
-            eprintln!(
-                "molbench: warning: comparing a {} run against a {} baseline — \
-                 deltas are not scale-fair",
-                if doc.smoke { "smoke" } else { "full" },
-                if baseline.smoke { "smoke" } else { "full" },
-            );
+        // Stderr, never stdout: piped-JSON workflows must not see it.
+        if let Some(warning) = scale_fairness_warning(&baseline, &doc) {
+            eprintln!("{warning}");
         }
         let deltas = compare(&baseline, &doc, args.tolerance);
         println!(
@@ -386,5 +423,44 @@ fn main() {
             std::process::exit(1);
         }
         println!("no regressions beyond {:.0}%", args.tolerance * 100.0);
+    }
+
+    if let Some(floor_path) = &args.floor {
+        let text = match std::fs::read_to_string(floor_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("molbench: cannot read floor record {floor_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let floor = match BenchDoc::from_json(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("molbench: invalid floor record {floor_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Some(warning) = scale_fairness_warning(&floor, &doc) {
+            eprintln!("{warning}");
+        }
+        let violations = floor_check(&floor, &doc, "single:");
+        if violations.is_empty() {
+            println!("\nno single:* workload below the floor record {floor_path}");
+        } else {
+            for v in &violations {
+                eprintln!(
+                    "molbench: {} fell below the floor record: {} acc/s vs {} acc/s",
+                    v.name,
+                    v.current_aps
+                        .map_or("missing".to_string(), |aps| format!("{aps:.0}")),
+                    v.floor_aps.round(),
+                );
+            }
+            eprintln!(
+                "molbench: {} single-stream workload(s) slower than {floor_path}",
+                violations.len()
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -29,7 +29,7 @@
 
 use molcache_bench::experiments::table2;
 use molcache_bench::harness::{run_workload_recorded, Engine};
-use molcache_core::{MolecularCache, RegionPolicy, StageWallProfile};
+use molcache_core::{MemoStats, MolecularCache, RegionPolicy, StageWallProfile};
 use molcache_power::calibrate::molecule_report;
 use molcache_power::tech::TechNode;
 use molcache_power::EnergyMeter;
@@ -49,6 +49,7 @@ struct Args {
     json: bool,
     power: bool,
     stages: bool,
+    memo: bool,
 }
 
 fn usage() -> ! {
@@ -62,6 +63,9 @@ fn usage() -> ! {
          \u{20} --power   price epoch activity into energy (70nm CACTI model)\n\
          \u{20} --stages  print the pipeline-stage breakdown and self-check\n\
          \u{20}           that stage cycles sum to the total access latency\n\
+         \u{20} --memo    print the memoization front-end's effectiveness\n\
+         \u{20}           (hits, lookups, hit rate, stale entries, generation\n\
+         \u{20}           bumps; needs a build with the memo-front feature)\n\
          \u{20} --json    print the merged time-series as JSON on stdout"
     );
     std::process::exit(2);
@@ -87,6 +91,7 @@ fn parse_args() -> Args {
         json: false,
         power: false,
         stages: false,
+        memo: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -101,6 +106,7 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--power" => args.power = true,
             "--stages" => args.stages = true,
+            "--memo" => args.memo = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -124,6 +130,49 @@ struct RunResult {
     /// Sampled host-time stage split — `Some` only in builds with the
     /// `stage-profiler` feature, rendered as `-` otherwise.
     wall_profile: Option<StageWallProfile>,
+    /// Memo front-end counters — `Some` only in builds with the
+    /// `memo-front` feature.
+    memo: Option<MemoStats>,
+}
+
+/// Renders the memo front-end's effectiveness for one run.
+/// `epoch_memo_hits` is the per-epoch hit series carried (JSON-excluded)
+/// on the recorder's epoch samples.
+fn report_memo(run: &RunResult, epoch_memo_hits: &[u64]) {
+    let Some(s) = run.memo else {
+        println!(
+            "memo front-end ({}): not compiled in (build with the \
+             memo-front feature)",
+            run.policy
+        );
+        return;
+    };
+    println!("memo front-end ({}):", run.policy);
+    if !s.enabled {
+        println!("  disabled at runtime");
+        return;
+    }
+    println!(
+        "  {} hits / {} lookups ({:.1}% hit rate), {} stale entries",
+        s.hits,
+        s.lookups(),
+        s.hit_rate() * 100.0,
+        s.stale,
+    );
+    println!(
+        "  {} slots, generation {} after {} structural bumps",
+        s.slots, s.generation, s.generation_bumps,
+    );
+    if !epoch_memo_hits.is_empty() {
+        let total: u64 = epoch_memo_hits.iter().sum();
+        let peak = epoch_memo_hits.iter().copied().max().unwrap_or(0);
+        println!(
+            "  per-epoch hits: {} epochs, {} total, peak {} in one epoch",
+            epoch_memo_hits.len(),
+            total,
+            peak,
+        );
+    }
 }
 
 /// Renders the run's pipeline-stage breakdown and verifies the staging
@@ -218,6 +267,7 @@ fn main() {
                 activity: cache.activity(),
                 wall_ns,
                 wall_profile: cache.stage_wall_profile(),
+                memo: cache.memo_stats(),
             }
         },
     );
@@ -278,6 +328,10 @@ fn main() {
         );
         if args.stages {
             contract_ok &= report_stages(run, meter.as_ref());
+        }
+        if args.memo {
+            let epoch_hits: Vec<u64> = recorder.epochs().iter().map(|e| e.memo_hits).collect();
+            report_memo(run, &epoch_hits);
         }
         println!();
     }

@@ -179,6 +179,11 @@ pub struct BenchDoc {
     pub date: String,
     /// Whether this was a `--smoke` (reduced-scale) run.
     pub smoke: bool,
+    /// Whether the memoization front-end was active for the run. `None`
+    /// on records predating the flag (readers treat unknown as "the
+    /// build default"); serialized only when known, so old baselines
+    /// keep round-tripping byte-exactly.
+    pub memo: Option<bool>,
     /// Host that produced the numbers.
     pub machine: MachineInfo,
     /// One entry per suite workload, in suite order.
@@ -204,6 +209,11 @@ impl BenchDoc {
             ("schema".into(), Value::String(BENCH_SCHEMA.into())),
             ("date".into(), Value::String(self.date.clone())),
             ("smoke".into(), Value::Bool(self.smoke)),
+        ];
+        if let Some(memo) = self.memo {
+            fields.push(("memo".into(), Value::Bool(memo)));
+        }
+        fields.extend([
             ("machine".into(), self.machine.to_value()),
             (
                 "workloads".into(),
@@ -214,7 +224,7 @@ impl BenchDoc {
                         .collect(),
                 ),
             ),
-        ];
+        ]);
         if let Some(profile) = &self.stage_profile {
             fields.push(("stage_profile".into(), profile.to_value()));
         }
@@ -261,6 +271,10 @@ impl BenchDoc {
                 .ok_or("missing date field")?
                 .to_string(),
             smoke: matches!(v.get("smoke"), Some(Value::Bool(true))),
+            memo: match v.get("memo") {
+                Some(Value::Bool(b)) => Some(*b),
+                _ => None,
+            },
             machine,
             workloads,
             stage_profile,
@@ -331,6 +345,65 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<W
 /// The deltas that fail the gate.
 pub fn regressions(deltas: &[WorkloadDelta]) -> Vec<&WorkloadDelta> {
     deltas.iter().filter(|d| d.regressed).collect()
+}
+
+/// The warning `--compare` emits when a smoke run is diffed against a
+/// full-scale baseline (or vice versa): workloads with fixed
+/// per-iteration setup (engine_sweep) amortize differently across
+/// scales, so deltas are only fair scale-against-scale. Returns `None`
+/// when the scales match. Centralized here so the routing is testable —
+/// `molbench` must print it to **stderr**, never into the stdout JSON
+/// pipelines consume.
+pub fn scale_fairness_warning(baseline: &BenchDoc, current: &BenchDoc) -> Option<String> {
+    if baseline.smoke == current.smoke {
+        return None;
+    }
+    let label = |smoke: bool| if smoke { "smoke" } else { "full" };
+    Some(format!(
+        "molbench: warning: comparing a {} run against a {} baseline — \
+         deltas are not scale-fair",
+        label(current.smoke),
+        label(baseline.smoke),
+    ))
+}
+
+/// One workload that fell below its floor record (see [`floor_check`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorViolation {
+    /// Workload name.
+    pub name: String,
+    /// Throughput of the floor record, in accesses/sec.
+    pub floor_aps: f64,
+    /// Throughput of the current run; `None` when the workload vanished.
+    pub current_aps: Option<f64>,
+}
+
+/// The memo-on-vs-memo-off CI gate: every workload of `floor` whose name
+/// starts with `prefix` must be at least as fast in `current`. Used with
+/// `floor` = the memo-off record and `current` = the memo-on record, so
+/// the memoization front-end can never silently become a pessimization
+/// on the single-stream workloads it exists to accelerate. A workload
+/// missing from `current` is a violation; zero-throughput floor entries
+/// cannot be fallen below.
+pub fn floor_check(floor: &BenchDoc, current: &BenchDoc, prefix: &str) -> Vec<FloorViolation> {
+    floor
+        .workloads
+        .iter()
+        .filter(|w| w.name.starts_with(prefix))
+        .filter_map(|base| match current.workload(&base.name) {
+            None => Some(FloorViolation {
+                name: base.name.clone(),
+                floor_aps: base.accesses_per_sec,
+                current_aps: None,
+            }),
+            Some(cur) if cur.accesses_per_sec < base.accesses_per_sec => Some(FloorViolation {
+                name: base.name.clone(),
+                floor_aps: base.accesses_per_sec,
+                current_aps: Some(cur.accesses_per_sec),
+            }),
+            Some(_) => None,
+        })
+        .collect()
 }
 
 /// Renders the comparison as the table `molbench --compare` prints.

@@ -3,8 +3,8 @@
 
 use molcache_bench::machine::MachineInfo;
 use molcache_bench::report::{
-    compare, regressions, render_comparison, BenchDoc, StageProfileRecord, WorkloadResult,
-    BENCH_SCHEMA, REGRESSION_TOLERANCE,
+    compare, floor_check, regressions, render_comparison, scale_fairness_warning, BenchDoc,
+    StageProfileRecord, WorkloadResult, BENCH_SCHEMA, REGRESSION_TOLERANCE,
 };
 use molcache_bench::stopwatch::Timing;
 
@@ -22,6 +22,7 @@ fn doc_with(workloads: Vec<WorkloadResult>) -> BenchDoc {
     BenchDoc {
         date: "2026-08-08".into(),
         smoke: false,
+        memo: None,
         machine: machine(),
         workloads,
         stage_profile: None,
@@ -51,6 +52,7 @@ fn emitted_record_round_trips() {
     let doc = BenchDoc {
         date: "2026-08-08".into(),
         smoke: true,
+        memo: Some(true),
         machine: machine(),
         workloads: vec![
             WorkloadResult::from_timing("mixed12", 20_000, &t),
@@ -178,6 +180,119 @@ fn comparison_renders_every_verdict() {
     assert!(table.contains("missing"), "{table}");
     assert!(table.contains("+1.0%"), "{table}");
     assert_eq!(regressions(&deltas).len(), 2);
+}
+
+#[test]
+fn memo_marker_round_trips_and_stays_optional() {
+    // Records predating the marker (memo: None) serialize without the
+    // field and parse back as None — old baselines stay byte-stable.
+    let legacy = doc_with(vec![workload("mixed12", 100.0)]);
+    let json = legacy.to_json().unwrap();
+    assert!(!json.contains("\"memo\""), "{json}");
+    assert_eq!(BenchDoc::from_json(&json).unwrap().memo, None);
+
+    for memo in [true, false] {
+        let mut doc = doc_with(vec![workload("mixed12", 100.0)]);
+        doc.memo = Some(memo);
+        let parsed = BenchDoc::from_json(&doc.to_json().unwrap()).unwrap();
+        assert_eq!(parsed.memo, Some(memo));
+        assert_eq!(parsed, doc);
+    }
+}
+
+#[test]
+fn scale_fairness_warning_fires_only_across_scales() {
+    let full = doc_with(vec![]);
+    let mut smoke = doc_with(vec![]);
+    smoke.smoke = true;
+
+    assert_eq!(scale_fairness_warning(&full, &full), None);
+    assert_eq!(scale_fairness_warning(&smoke, &smoke), None);
+
+    let w = scale_fairness_warning(&full, &smoke).expect("cross-scale compare warns");
+    assert!(w.contains("smoke run"), "{w}");
+    assert!(w.contains("full baseline"), "{w}");
+    assert!(w.contains("not scale-fair"), "{w}");
+    let w = scale_fairness_warning(&smoke, &full).expect("either direction warns");
+    assert!(w.contains("full run"), "{w}");
+    assert!(w.contains("smoke baseline"), "{w}");
+}
+
+/// End-to-end routing check for the scale-fairness warning: it must land
+/// on stderr, never in stdout (which piped-JSON workflows consume).
+#[test]
+fn molbench_routes_scale_warning_to_stderr() {
+    let dir = std::env::temp_dir().join(format!("molbench-warn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A full-scale (smoke: false) baseline for a --smoke run to hit.
+    let baseline = doc_with(vec![]);
+    let path = dir.join("BENCH_full.json");
+    std::fs::write(&path, baseline.to_json().unwrap()).unwrap();
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_molbench"))
+        .args([
+            "--smoke",
+            "--refs",
+            "200",
+            "--samples",
+            "1",
+            "--budget-ms",
+            "1",
+            "--no-write",
+            "--compare",
+        ])
+        .arg(&path)
+        .output()
+        .expect("molbench runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(
+        stderr.contains("not scale-fair"),
+        "warning missing from stderr:\n{stderr}"
+    );
+    assert!(
+        !stdout.contains("not scale-fair"),
+        "warning leaked into stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn floor_check_gates_single_stream_workloads_only() {
+    let floor = doc_with(vec![
+        workload("single:ammp", 100.0),
+        workload("single:mcf", 200.0),
+        workload("mixed12", 1000.0),
+    ]);
+
+    // Faster or equal on every single:* workload: clean, even though the
+    // non-prefixed mixed12 got slower.
+    let good = doc_with(vec![
+        workload("single:ammp", 100.0),
+        workload("single:mcf", 250.0),
+        workload("mixed12", 1.0),
+    ]);
+    assert!(floor_check(&floor, &good, "single:").is_empty());
+
+    // Slower on one single:* workload: exactly that one is reported.
+    let slow = doc_with(vec![
+        workload("single:ammp", 99.9),
+        workload("single:mcf", 250.0),
+        workload("mixed12", 1000.0),
+    ]);
+    let violations = floor_check(&floor, &slow, "single:");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].name, "single:ammp");
+    assert_eq!(violations[0].floor_aps, 100.0);
+    assert_eq!(violations[0].current_aps, Some(99.9));
+
+    // A single:* workload missing from the current run is a violation.
+    let missing = doc_with(vec![workload("single:ammp", 100.0)]);
+    let violations = floor_check(&floor, &missing, "single:");
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].name, "single:mcf");
+    assert_eq!(violations[0].current_aps, None);
 }
 
 #[test]

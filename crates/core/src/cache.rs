@@ -17,6 +17,7 @@ use crate::region::Region;
 use crate::region_table::RegionTable;
 use crate::resize::{ResizeController, ResizeEvent};
 use crate::stats::RegionSnapshot;
+use crate::tags::TagStore;
 use crate::tile::{Tile, TileCluster};
 use molcache_sim::{
     AccessOutcome, Activity, BatchOutcome, CacheModel, CacheStats, Request, StageBreakdown,
@@ -37,6 +38,9 @@ pub use crate::pipeline::victim::Lfsr16;
 pub struct MolecularCache {
     pub(crate) cfg: MolecularConfig,
     pub(crate) molecules: Vec<Molecule>,
+    /// Flat bit-packed tag/ASID/shared arrays for every molecule (the
+    /// hot lookup state; `molecules` keeps only placement + counters).
+    pub(crate) tags: TagStore,
     pub(crate) tiles: Vec<Tile>,
     pub(crate) clusters: Vec<TileCluster>,
     pub(crate) regions: RegionTable,
@@ -61,6 +65,14 @@ pub struct MolecularCache {
     /// default builds carry no sampler state at all).
     #[cfg(feature = "stage-profiler")]
     pub(crate) sampler: crate::profiler::StageSampler,
+    /// Way/molecule memoization front-end (only with the `memo-front`
+    /// feature; see [`crate::pipeline::memo`]).
+    #[cfg(feature = "memo-front")]
+    pub(crate) memo: crate::pipeline::memo::MemoTable,
+    /// Memo hits at the last epoch close, so epoch samples carry the
+    /// per-epoch delta.
+    #[cfg(feature = "memo-front")]
+    pub(crate) epoch_memo_base: u64,
 }
 
 impl MolecularCache {
@@ -80,7 +92,7 @@ impl MolecularCache {
                 let mut ids = Vec::with_capacity(cfg.tile_molecules());
                 for _ in 0..cfg.tile_molecules() {
                     let id = MoleculeId(mol_id);
-                    molecules.push(Molecule::new(id, tid, frames));
+                    molecules.push(Molecule::new(id, tid));
                     ids.push(id);
                     mol_id += 1;
                 }
@@ -95,9 +107,11 @@ impl MolecularCache {
         let lfsr = Lfsr16::new(cfg.seed as u16);
         let clusters_count = cfg.clusters();
         let tile_molecules = cfg.tile_molecules();
+        let tags = TagStore::new(molecules.len(), frames);
         MolecularCache {
             cfg,
             molecules,
+            tags,
             tiles,
             clusters,
             regions: RegionTable::new(),
@@ -118,7 +132,20 @@ impl MolecularCache {
             gate_matches: Vec::with_capacity(tile_molecules),
             #[cfg(feature = "stage-profiler")]
             sampler: crate::profiler::StageSampler::default(),
+            #[cfg(feature = "memo-front")]
+            memo: crate::pipeline::memo::MemoTable::default(),
+            #[cfg(feature = "memo-front")]
+            epoch_memo_base: 0,
         }
+    }
+
+    /// Configures a molecule to a new owner through the flat tag store
+    /// (flushing its contents) and clears its per-window counters — the
+    /// two halves of what reconfiguration means since the tag state
+    /// moved out of [`Molecule`]. Returns the dirty frames flushed.
+    pub(crate) fn configure_molecule(&mut self, id: MoleculeId, asid: Asid) -> u64 {
+        self.molecules[id.index()].reset_window_counters();
+        self.tags.configure(id, asid)
     }
 
     /// Enables the sampling wall-time stage profiler: every
@@ -242,10 +269,11 @@ impl MolecularCache {
     /// released, or `None` if the application had no region.
     pub fn release_region(&mut self, asid: Asid) -> Option<usize> {
         let mut region = self.regions.remove(&asid)?;
+        self.memo_invalidate();
         let ids = region.drain_molecules();
         let released = ids.len();
         for id in ids {
-            let flushed = self.molecules[id.index()].configure(Asid::NONE);
+            let flushed = self.configure_molecule(id, Asid::NONE);
             self.activity.writebacks += flushed;
             let tile = self.molecules[id.index()].tile();
             self.tiles[tile.index()].release(id);
@@ -275,6 +303,7 @@ impl MolecularCache {
             return false;
         }
         region.set_home_tile(tid);
+        self.memo_invalidate();
         true
     }
 
@@ -283,12 +312,13 @@ impl MolecularCache {
     /// molecule visible to every application on the tile). Returns how
     /// many were marked.
     pub fn make_shared(&mut self, tile_index: usize, n: usize) -> usize {
+        self.memo_invalidate();
         let mut granted = 0;
         for _ in 0..n {
             let Some(id) = self.tiles[tile_index].take_free() else {
                 break;
             };
-            self.molecules[id.index()].set_shared(true);
+            self.tags.set_shared(id, true);
             granted += 1;
         }
         granted
@@ -355,6 +385,13 @@ impl CacheModel for MolecularCache {
         self.epoch_index = 0;
         self.epoch_stats_base = CacheStats::new();
         self.epoch_activity_base = Activity::default();
+        // Memo lifetime counters restart too; the memo's entries survive
+        // like cache contents do (a stats reset is not a flush).
+        #[cfg(feature = "memo-front")]
+        {
+            self.memo.reset_counters();
+            self.epoch_memo_base = 0;
+        }
     }
 
     fn describe(&self) -> String {
@@ -410,12 +447,36 @@ impl MolecularCache {
         let asid = req.asid;
         let line = req.addr.line(self.cfg.line_size());
         let is_write = req.kind.is_write();
-        let home = self.regions[&asid].home_tile();
-        let mut stages = StageBreakdown::default();
         #[cfg(feature = "stage-profiler")]
         let sampled = self.sampler.begin_access();
         #[cfg(not(feature = "stage-profiler"))]
         let sampled = false;
+
+        // Stage 0 — memoization front-end: a verified memo hit replays
+        // the gate/lookup counters the full pipeline would emit and
+        // skips stages 1–3 entirely (see `pipeline::memo` for why the
+        // replay is exact). Falls through on any doubt.
+        #[cfg(feature = "memo-front")]
+        if self.memo.enabled {
+            if let Some((mol, gate_count)) = self.memo.lookup(asid, line) {
+                let verified = timed_stage!(self, sampled, 1, self.tags.probe(mol, line, is_write));
+                if verified {
+                    self.memo.note_hit();
+                    self.molecules[mol.index()].record_hit();
+                    let mut stages = StageBreakdown::default();
+                    stages.asid_gate.cycles = self.cfg.asid_stage_cycles;
+                    stages.asid_gate.asid_compares = self.cfg.tile_molecules() as u32;
+                    stages.home_lookup.cycles = self.cfg.hit_latency;
+                    stages.home_lookup.tag_probes = gate_count;
+                    let latency = self.cfg.asid_stage_cycles + self.cfg.hit_latency;
+                    return self.finish_hit(asid, mol, latency, stages);
+                }
+                self.memo.note_stale(asid, line);
+            }
+        }
+
+        let home = self.regions[&asid].home_tile();
+        let mut stages = StageBreakdown::default();
 
         // Stage 1 — ASID gate, stage 2 — home-tile tag probe.
         stages.asid_gate.cycles = self.cfg.asid_stage_cycles;
@@ -433,6 +494,8 @@ impl MolecularCache {
             1,
             self.probe_gated(line, is_write, &mut stages.home_lookup)
         ) {
+            #[cfg(feature = "memo-front")]
+            self.memo_note_home_hit(asid, line, hit_mol);
             return self.finish_hit(asid, hit_mol, latency, stages);
         }
 

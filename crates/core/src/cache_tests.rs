@@ -749,3 +749,213 @@ fn stage_cycle_attribution_matches_config() {
     assert_eq!(s.fill.cycles, 0, "hits never reach the fill stage");
     assert_eq!(s.fill.frames_touched, 0);
 }
+
+// ---- memoization front-end (`memo-front`) ------------------------------
+
+/// A workload that exercises every memo-relevant path: three apps with
+/// overlapping strides and writes (hits, conflict evictions, stale memo
+/// entries), a tight resize trigger (generation bumps mid-stream), plus
+/// explicit re-home / shared-grant / teardown structural events.
+fn memo_torture(c: &mut MolecularCache) -> Vec<AccessOutcome> {
+    let mut out = Vec::new();
+    for i in 0..6_000u64 {
+        let asid = (i % 3 + 1) as u16;
+        // Every 4th access re-touches the app's hot line (memo fodder);
+        // the rest stream with direct-mapped conflicts (stale entries).
+        let addr = if i % 4 == 0 {
+            u64::from(asid) * 4096
+        } else {
+            (i * 37 % 512) * 64 + (i % 7) * 8
+        };
+        let req = if i % 5 == 0 {
+            write(asid, addr)
+        } else {
+            read(asid, addr)
+        };
+        out.push(c.access(req));
+        match i {
+            1_500 => {
+                c.make_shared(1, 2);
+            }
+            3_000 => {
+                c.rehome_app(Asid::new(2), 1);
+            }
+            4_500 => {
+                c.release_region(Asid::new(3));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The bit-identity contract of the memo front-end: every per-access
+/// outcome (hit/latency/writeback/stage breakdown), the lifetime stats
+/// and activity counters, the region snapshots and the full telemetry
+/// JSON export are byte-identical with memoization on and off.
+#[test]
+fn memo_front_is_observationally_free() {
+    use molcache_telemetry::{Recorder, Sink};
+    use std::sync::{Arc, Mutex};
+    let cfg = MolecularConfig::builder()
+        .molecule_size(1024)
+        .tile_molecules(8)
+        .tiles_per_cluster(2)
+        .clusters(1)
+        .initial_allocation(InitialAllocation::Molecules(2))
+        .trigger(ResizeTrigger::Constant { period: 400 })
+        .miss_rate_goal(0.05)
+        .build()
+        .unwrap();
+
+    let run = |enable: bool| {
+        let recorder: Arc<Mutex<Recorder>> = Arc::new(Mutex::new(Recorder::new("memo-eq")));
+        let sink: Arc<Mutex<dyn Sink>> = recorder.clone();
+        let mut c = MolecularCache::new(cfg.clone()).with_sink(SinkHandle::shared(sink, 500));
+        c.set_memo_front(enable);
+        let outcomes = memo_torture(&mut c);
+        let json = recorder.lock().unwrap().to_json().unwrap();
+        let epoch_memo_hits: u64 = recorder
+            .lock()
+            .unwrap()
+            .epochs()
+            .iter()
+            .map(|e| e.memo_hits)
+            .sum();
+        (outcomes, c, json, epoch_memo_hits)
+    };
+    let (out_on, on, json_on, epoch_hits_on) = run(true);
+    let (out_off, off, json_off, epoch_hits_off) = run(false);
+
+    assert_eq!(out_on, out_off, "per-access outcomes diverge");
+    assert_eq!(on.stats(), off.stats());
+    assert_eq!(on.activity(), off.activity());
+    assert_eq!(on.snapshots(), off.snapshots());
+    assert_eq!(on.free_molecules(), off.free_molecules());
+    assert_eq!(json_on, json_off, "telemetry JSON must be byte-identical");
+    assert_eq!(on.find_duplicate_line(), None);
+
+    // With the feature compiled in, the enabled run must actually have
+    // used the memo — otherwise this test proves nothing. The epoch
+    // samples carry the (JSON-excluded) per-epoch memo-hit diagnostic.
+    assert_eq!(epoch_hits_off, 0, "disabled run must report no memo hits");
+    if let Some(stats) = on.memo_stats() {
+        assert!(stats.hits > 0, "memo never hit on a hit-heavy workload");
+        assert!(
+            stats.generation_bumps > 0,
+            "resizes must bump the generation"
+        );
+        assert!(
+            epoch_hits_on <= stats.hits,
+            "epoch memo-hit deltas must never exceed the lifetime count"
+        );
+        assert!(
+            epoch_hits_on > 0,
+            "epoch samples must surface memo hits when the memo is hitting"
+        );
+    }
+}
+
+/// Batched and per-request entry points stay bit-identical with the
+/// memo enabled (the memo state advances identically either way).
+#[test]
+fn memo_front_keeps_batch_bit_identical() {
+    let reqs: Vec<Request> = (0..4_000u64)
+        .map(|i| {
+            let asid = (i % 2 + 1) as u16;
+            read(asid, (i * 13 % 300) * 64)
+        })
+        .collect();
+    let mut serial = MolecularCache::new(small_config());
+    let mut batched = MolecularCache::new(small_config());
+    for req in &reqs {
+        serial.access(*req);
+    }
+    batched.access_batch(&reqs);
+    assert_eq!(serial.stats(), batched.stats());
+    assert_eq!(serial.activity(), batched.activity());
+    assert_eq!(serial.snapshots(), batched.snapshots());
+}
+
+#[cfg(feature = "memo-front")]
+#[test]
+fn memo_structural_events_invalidate_entries() {
+    let mut c = MolecularCache::new(small_config());
+    let line_size = c.config().line_size();
+    let line_of = move |addr: u64| Address::new(addr).line(line_size);
+
+    // Two accesses to the same line: the second is a home hit that
+    // writes a memo entry.
+    c.access(read(1, 0x100));
+    c.access(read(1, 0x100));
+    assert!(c.memo_would_hit(Asid::new(1), line_of(0x100)));
+
+    // Re-homing changes the gate set: the entry must die. (Hits after
+    // the re-home are *remote* — served via Ulmo from the old tile — so
+    // they are never memoized: only home-tile hits are.)
+    assert!(c.rehome_app(Asid::new(1), 1));
+    assert!(!c.memo_would_hit(Asid::new(1), line_of(0x100)));
+    c.access(read(1, 0x100));
+    c.access(read(1, 0x100));
+    assert!(
+        !c.memo_would_hit(Asid::new(1), line_of(0x100)),
+        "remote (Ulmo) hits must not be memoized"
+    );
+
+    // Back home, hits are home hits again: re-learn, then tear the
+    // region down: dead again.
+    assert!(c.rehome_app(Asid::new(1), 0));
+    c.access(read(1, 0x100));
+    c.access(read(1, 0x100));
+    assert!(c.memo_would_hit(Asid::new(1), line_of(0x100)));
+    c.release_region(Asid::new(1));
+    assert!(!c.memo_would_hit(Asid::new(1), line_of(0x100)));
+
+    // Shared-bit changes bump too.
+    c.access(read(2, 0x200));
+    c.access(read(2, 0x200));
+    assert!(c.memo_would_hit(Asid::new(2), line_of(0x200)));
+    c.make_shared(0, 1);
+    assert!(!c.memo_would_hit(Asid::new(2), line_of(0x200)));
+}
+
+#[cfg(feature = "memo-front")]
+#[test]
+fn memo_toggle_and_stats_surface() {
+    let mut c = MolecularCache::new(small_config());
+    assert!(c.memo_front_enabled(), "memo-front defaults to enabled");
+    c.access(read(1, 0x40));
+    c.access(read(1, 0x40));
+    c.access(read(1, 0x40));
+    let s = c.memo_stats().unwrap();
+    assert!(s.enabled && s.hits >= 1, "repeat hits go through the memo");
+    assert!(s.lookups() >= s.hits);
+
+    c.set_memo_front(false);
+    assert!(!c.memo_front_enabled());
+    let before = c.memo_stats().unwrap();
+    c.access(read(1, 0x40));
+    let after = c.memo_stats().unwrap();
+    assert_eq!(
+        before.lookups(),
+        after.lookups(),
+        "disabled memo is not consulted"
+    );
+
+    // Stats reset clears the memo counters but keeps entries warm.
+    c.set_memo_front(true);
+    c.access(read(1, 0x40));
+    c.reset_stats();
+    let s = c.memo_stats().unwrap();
+    assert_eq!((s.hits, s.misses, s.stale), (0, 0, 0));
+}
+
+#[cfg(not(feature = "memo-front"))]
+#[test]
+fn memo_api_is_inert_without_the_feature() {
+    let mut c = MolecularCache::new(small_config());
+    assert!(!c.memo_front_enabled());
+    assert_eq!(c.memo_stats(), None);
+    c.set_memo_front(true); // no-op, must not panic
+    assert!(!c.memo_front_enabled());
+}

@@ -66,11 +66,12 @@ pub mod region;
 pub mod region_table;
 pub mod resize;
 pub mod stats;
+pub mod tags;
 pub mod tile;
 
 pub use cache::MolecularCache;
 pub use config::{InitialAllocation, MolecularConfig, MolecularConfigBuilder, RegionPolicy};
 pub use error::CoreError;
-pub use pipeline::{Lfsr16, VictimPolicy};
+pub use pipeline::{Lfsr16, MemoStats, VictimPolicy};
 pub use profiler::StageWallProfile;
 pub use resize::ResizeTrigger;

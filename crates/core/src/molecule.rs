@@ -1,53 +1,39 @@
 //! Molecules: the direct-mapped building blocks (§3 of the paper).
+//!
+//! A molecule is a small direct-mapped caching unit (8–32 KB, 64 B
+//! lines) carrying a configured [`Asid`](molcache_trace::Asid) and a
+//! *shared* bit (paper §3.1, Figure 3): an extra address-decode stage
+//! compares the requestor's ASID with the configured one, and only
+//! matching molecules proceed to tag lookup. When the shared bit is set
+//! the comparison is bypassed and the molecule services every
+//! application on its tile.
+//!
+//! Since the flat-tag-array restructuring, the molecule's *state* —
+//! line frames, configured ASID, shared bit — lives in the cache-global
+//! [`TagStore`](crate::tags::TagStore), packed into contiguous arrays so
+//! a home-tile probe is one linear scan. What remains here is the
+//! molecule's placement identity (id, hosting tile) and its
+//! per-molecule event counters: the per-resize-window replacement-miss
+//! counter Algorithm 1's "where to remove?" consults (§3.4) and the
+//! cumulative hit counter behind the hit-per-molecule diagnostics.
 
 use crate::ids::{MoleculeId, TileId};
-use molcache_trace::{Asid, LineAddr};
 
-/// One line frame inside a molecule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LineFrame {
-    /// Stored tag (`line_number / frames_per_molecule`).
-    pub tag: u64,
-    /// Frame holds valid data.
-    pub valid: bool,
-    /// Frame has been written since fill.
-    pub dirty: bool,
-}
-
-impl LineFrame {
-    const EMPTY: LineFrame = LineFrame {
-        tag: 0,
-        valid: false,
-        dirty: false,
-    };
-}
-
-/// A small direct-mapped caching unit (8–32 KB, 64 B lines).
-///
-/// Each molecule carries a configured [`Asid`] and a *shared* bit
-/// (paper §3.1, Figure 3): an extra address-decode stage compares the
-/// requestor's ASID with the configured one, and only matching molecules
-/// proceed to tag lookup. When the shared bit is set the comparison is
-/// bypassed and the molecule services every application on its tile.
+/// One molecule's placement identity and event counters (see the module
+/// docs — frames/ASID/shared live in [`crate::tags::TagStore`]).
 ///
 /// ```
 /// use molcache_core::molecule::Molecule;
 /// use molcache_core::ids::{MoleculeId, TileId};
-/// use molcache_trace::{Asid, LineAddr};
 ///
-/// let mut m = Molecule::new(MoleculeId(0), TileId(0), 128); // 8KB / 64B
-/// m.configure(Asid::new(1));
-/// assert!(m.matches(Asid::new(1)) && !m.matches(Asid::new(2)));
-/// m.fill(LineAddr(5), false);
-/// assert!(m.lookup(LineAddr(5)));
+/// let mut m = Molecule::new(MoleculeId(3), TileId(1));
+/// m.record_hit();
+/// assert_eq!((m.id(), m.tile(), m.hit_count()), (MoleculeId(3), TileId(1), 1));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Molecule {
     id: MoleculeId,
     tile: TileId,
-    frames: Vec<LineFrame>,
-    asid: Asid,
-    shared: bool,
     /// Misses that caused replacements here since the last resize window
     /// (the "where to add/remove" counter of §3.4).
     miss_count: u64,
@@ -56,19 +42,11 @@ pub struct Molecule {
 }
 
 impl Molecule {
-    /// Creates an empty, unassigned molecule of `frames` line frames.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `frames == 0`.
-    pub fn new(id: MoleculeId, tile: TileId, frames: usize) -> Self {
-        assert!(frames > 0, "molecule needs at least one frame");
+    /// Creates the placement record of a molecule hosted by `tile`.
+    pub fn new(id: MoleculeId, tile: TileId) -> Self {
         Molecule {
             id,
             tile,
-            frames: vec![LineFrame::EMPTY; frames],
-            asid: Asid::NONE,
-            shared: false,
             miss_count: 0,
             hit_count: 0,
         }
@@ -84,21 +62,6 @@ impl Molecule {
         self.tile
     }
 
-    /// The configured ASID ([`Asid::NONE`] when free).
-    pub fn asid(&self) -> Asid {
-        self.asid
-    }
-
-    /// Whether the shared bit is set.
-    pub fn is_shared(&self) -> bool {
-        self.shared
-    }
-
-    /// Number of line frames.
-    pub fn num_frames(&self) -> usize {
-        self.frames.len()
-    }
-
     /// Replacement-miss counter for the current resize window.
     pub fn miss_count(&self) -> u64 {
         self.miss_count
@@ -109,102 +72,9 @@ impl Molecule {
         self.hit_count
     }
 
-    /// The ASID-match stage: whether this molecule participates in a
-    /// lookup for `asid` (Figure 3: shared bit forces a match).
-    pub fn matches(&self, asid: Asid) -> bool {
-        self.shared || (self.asid.is_some() && self.asid == asid)
-    }
-
-    /// Configures the molecule into a region (or frees it with
-    /// [`Asid::NONE`]). Contents are invalidated: the new owner must not
-    /// observe the previous owner's data. Returns the number of dirty
-    /// frames flushed.
-    pub fn configure(&mut self, asid: Asid) -> u64 {
-        self.asid = asid;
-        self.miss_count = 0;
-        self.invalidate_all()
-    }
-
-    /// Sets or clears the shared bit.
-    pub fn set_shared(&mut self, shared: bool) {
-        self.shared = shared;
-    }
-
-    /// Invalidates every frame; returns the number of dirty frames (the
-    /// writebacks this flush generates).
-    pub fn invalidate_all(&mut self) -> u64 {
-        let dirty = self.frames.iter().filter(|f| f.valid && f.dirty).count() as u64;
-        for f in &mut self.frames {
-            *f = LineFrame::EMPTY;
-        }
-        dirty
-    }
-
-    fn frame_and_tag(&self, line: LineAddr) -> (usize, u64) {
-        let n = self.frames.len() as u64;
-        ((line.0 % n) as usize, line.0 / n)
-    }
-
-    /// Direct-mapped lookup. Returns whether the line is resident.
-    pub fn lookup(&self, line: LineAddr) -> bool {
-        let (idx, tag) = self.frame_and_tag(line);
-        let f = &self.frames[idx];
-        f.valid && f.tag == tag
-    }
-
-    /// Marks a resident line dirty (write hit). Returns `false` if the
-    /// line is not resident.
-    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
-        let (idx, tag) = self.frame_and_tag(line);
-        let f = &mut self.frames[idx];
-        if f.valid && f.tag == tag {
-            f.dirty = true;
-            self.hit_count += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Records a read hit on a resident line. Returns `false` if absent.
-    pub fn touch(&mut self, line: LineAddr) -> bool {
-        let (idx, tag) = self.frame_and_tag(line);
-        let f = &self.frames[idx];
-        if f.valid && f.tag == tag {
-            self.hit_count += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Fills `line` into its direct-mapped frame, evicting whatever was
-    /// there. Returns `true` if the eviction wrote back a dirty line.
-    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> bool {
-        let (idx, tag) = self.frame_and_tag(line);
-        let evicted_dirty = {
-            let f = &self.frames[idx];
-            f.valid && f.dirty && f.tag != tag
-        };
-        self.frames[idx] = LineFrame {
-            tag,
-            valid: true,
-            dirty,
-        };
-        evicted_dirty
-    }
-
-    /// Invalidates one line if resident; returns `Some(dirty)` if it was.
-    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
-        let (idx, tag) = self.frame_and_tag(line);
-        let f = &mut self.frames[idx];
-        if f.valid && f.tag == tag {
-            let dirty = f.dirty;
-            *f = LineFrame::EMPTY;
-            Some(dirty)
-        } else {
-            None
-        }
+    /// Counts one hit serviced by this molecule.
+    pub fn record_hit(&mut self) {
+        self.hit_count += 1;
     }
 
     /// Increments the replacement-miss counter.
@@ -212,24 +82,10 @@ impl Molecule {
         self.miss_count += 1;
     }
 
-    /// Clears the per-window miss counter (after a resize round).
+    /// Clears the per-window miss counter (after a resize round, or when
+    /// the molecule is reconfigured to a new owner).
     pub fn reset_window_counters(&mut self) {
         self.miss_count = 0;
-    }
-
-    /// Number of valid frames (diagnostics).
-    pub fn occupancy(&self) -> usize {
-        self.frames.iter().filter(|f| f.valid).count()
-    }
-
-    /// The line addresses currently resident (diagnostics / invariant
-    /// checking): frame `i` holding tag `t` stores line `t * frames + i`.
-    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        let n = self.frames.len() as u64;
-        self.frames
-            .iter()
-            .enumerate()
-            .filter_map(move |(i, f)| f.valid.then_some(LineAddr(f.tag * n + i as u64)))
     }
 }
 
@@ -237,96 +93,16 @@ impl Molecule {
 mod tests {
     use super::*;
 
-    fn mol(frames: usize) -> Molecule {
-        Molecule::new(MoleculeId(0), TileId(0), frames)
-    }
-
     #[test]
-    fn direct_mapped_fill_and_lookup() {
-        let mut m = mol(128);
-        let line = LineAddr(5);
-        assert!(!m.lookup(line));
-        m.fill(line, false);
-        assert!(m.lookup(line));
-        // Same frame, different tag: conflict.
-        let conflict = LineAddr(5 + 128);
-        assert!(!m.lookup(conflict));
-        m.fill(conflict, false);
-        assert!(m.lookup(conflict));
-        assert!(!m.lookup(line), "direct-mapped conflict must evict");
-    }
-
-    #[test]
-    fn fill_reports_dirty_eviction() {
-        let mut m = mol(64);
-        m.fill(LineAddr(0), true);
-        assert!(m.fill(LineAddr(64), false), "dirty conflict writes back");
-        assert!(!m.fill(LineAddr(128), false), "clean conflict does not");
-    }
-
-    #[test]
-    fn refill_same_line_is_not_writeback() {
-        let mut m = mol(64);
-        m.fill(LineAddr(3), true);
-        assert!(!m.fill(LineAddr(3), false), "same tag overwrite, no WB");
-    }
-
-    #[test]
-    fn asid_matching() {
-        let mut m = mol(16);
-        assert!(!m.matches(Asid::new(1)), "unconfigured never matches");
-        m.configure(Asid::new(1));
-        assert!(m.matches(Asid::new(1)));
-        assert!(!m.matches(Asid::new(2)));
-        m.set_shared(true);
-        assert!(m.matches(Asid::new(2)), "shared bit bypasses ASID");
-    }
-
-    #[test]
-    fn configure_invalidates_and_counts_dirty() {
-        let mut m = mol(16);
-        m.configure(Asid::new(1));
-        m.fill(LineAddr(0), true);
-        m.fill(LineAddr(1), false);
-        let flushed = m.configure(Asid::new(2));
-        assert_eq!(flushed, 1);
-        assert_eq!(m.occupancy(), 0);
-        assert!(!m.lookup(LineAddr(0)));
-    }
-
-    #[test]
-    fn touch_and_mark_dirty() {
-        let mut m = mol(16);
-        m.fill(LineAddr(2), false);
-        assert!(m.touch(LineAddr(2)));
-        assert!(!m.touch(LineAddr(3)));
-        assert!(m.mark_dirty(LineAddr(2)));
-        assert_eq!(m.hit_count(), 2);
-        // The dirty line now writes back on conflict.
-        assert!(m.fill(LineAddr(2 + 16), false));
-    }
-
-    #[test]
-    fn invalidate_single_line() {
-        let mut m = mol(16);
-        m.fill(LineAddr(4), true);
-        assert_eq!(m.invalidate(LineAddr(4)), Some(true));
-        assert_eq!(m.invalidate(LineAddr(4)), None);
-    }
-
-    #[test]
-    fn resident_lines_reconstruct_addresses() {
-        let mut m = mol(16);
-        m.fill(LineAddr(5), false);
-        m.fill(LineAddr(16 + 2), true); // frame 2, tag 1
-        let mut lines: Vec<u64> = m.resident_lines().map(|l| l.0).collect();
-        lines.sort_unstable();
-        assert_eq!(lines, vec![5, 18]);
+    fn placement_identity() {
+        let m = Molecule::new(MoleculeId(7), TileId(2));
+        assert_eq!(m.id(), MoleculeId(7));
+        assert_eq!(m.tile(), TileId(2));
     }
 
     #[test]
     fn window_counters() {
-        let mut m = mol(16);
+        let mut m = Molecule::new(MoleculeId(0), TileId(0));
         m.record_replacement_miss();
         m.record_replacement_miss();
         assert_eq!(m.miss_count(), 2);
@@ -335,8 +111,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one frame")]
-    fn zero_frames_panics() {
-        mol(0);
+    fn hit_counter_accumulates() {
+        let mut m = Molecule::new(MoleculeId(0), TileId(0));
+        m.record_hit();
+        m.record_hit();
+        m.record_hit();
+        assert_eq!(m.hit_count(), 3);
+        m.reset_window_counters();
+        assert_eq!(m.hit_count(), 3, "hit counter is lifetime, not window");
     }
 }

@@ -19,10 +19,7 @@ impl MolecularCache {
         if frames == 0 {
             return 0.0;
         }
-        let valid: usize = region
-            .molecules()
-            .map(|id| self.molecules[id.index()].occupancy())
-            .sum();
+        let valid: usize = region.molecules().map(|id| self.tags.occupancy(id)).sum();
         valid as f64 / frames as f64
     }
 
@@ -59,6 +56,13 @@ impl MolecularCache {
             })
             .collect();
         let base = self.epoch_activity_base;
+        // Memo hits are a diagnostic side-channel: carried on the sample
+        // but excluded from the canonical JSON export (which must be
+        // byte-identical memo-on vs memo-off).
+        #[cfg(feature = "memo-front")]
+        let memo_hits = self.memo.hits() - self.epoch_memo_base;
+        #[cfg(not(feature = "memo-front"))]
+        let memo_hits = 0;
         let activity = EpochActivity {
             epoch,
             accesses: self.activity.accesses - base.accesses,
@@ -68,6 +72,7 @@ impl MolecularCache {
             asid_compares: self.activity.asid_compares - base.asid_compares,
             ulmo_searches: self.activity.ulmo_searches - base.ulmo_searches,
             free_molecules: self.free_molecules(),
+            memo_hits,
             stages: self.activity.stages.since(&base.stages),
         };
         for sample in &samples {
@@ -77,6 +82,10 @@ impl MolecularCache {
         self.epoch_index += 1;
         self.epoch_stats_base = self.stats.clone();
         self.epoch_activity_base = self.activity;
+        #[cfg(feature = "memo-front")]
+        {
+            self.epoch_memo_base = self.memo.hits();
+        }
     }
 
     /// Publishes one applied resize decision.

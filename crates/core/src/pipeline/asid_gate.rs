@@ -20,14 +20,14 @@ impl MolecularCache {
     /// scratch list (cleared first), in tile order, for the tag-probe
     /// stage to consume.
     pub(crate) fn asid_gate(&mut self, tile: TileId, asid: Asid, trace: &mut StageTrace) {
-        let capacity = self.tiles[tile.index()].capacity();
+        let tile = &self.tiles[tile.index()];
+        let capacity = tile.capacity();
         trace.asid_compares += capacity as u32;
         self.gate_matches.clear();
-        for k in 0..capacity {
-            let id = self.tiles[tile.index()].molecules()[k];
-            if self.molecules[id.index()].matches(asid) {
-                self.gate_matches.push(id);
-            }
-        }
+        // The tile's gate state is one dense slice of the flat arrays
+        // (molecule ids are tile-contiguous), so the hardware's parallel
+        // compare is modeled by a single linear scan.
+        self.tags
+            .gate_scan(tile.molecule_base(), capacity, asid, &mut self.gate_matches);
     }
 }

@@ -40,7 +40,7 @@ impl MolecularCache {
             // block fill never duplicates a line.
             for id in &member_ids {
                 if *id != victim {
-                    if let Some(dirty) = self.molecules[id.index()].invalidate(l) {
+                    if let Some(dirty) = self.tags.invalidate(*id, l) {
                         writeback |= dirty;
                         if dirty {
                             self.activity.writebacks += 1;
@@ -49,7 +49,7 @@ impl MolecularCache {
                 }
             }
             let dirty_fill = is_write && l == line;
-            let evicted_dirty = self.molecules[victim.index()].fill(l, dirty_fill);
+            let evicted_dirty = self.tags.fill(victim, l, dirty_fill);
             if evicted_dirty {
                 self.activity.writebacks += 1;
             }

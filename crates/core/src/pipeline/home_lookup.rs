@@ -32,13 +32,8 @@ impl MolecularCache {
                 // line is resident in at most one molecule.
                 continue;
             }
-            let m = &mut self.molecules[id.index()];
-            let hit = if is_write {
-                m.mark_dirty(line)
-            } else {
-                m.touch(line)
-            };
-            if hit {
+            if self.tags.probe(id, line, is_write) {
+                self.molecules[id.index()].record_hit();
                 found = Some(id);
             }
         }

@@ -26,11 +26,11 @@ impl MolecularCache {
         let mut seen: std::collections::HashSet<(Asid, LineAddr)> =
             std::collections::HashSet::new();
         for m in &self.molecules {
-            let asid = m.asid();
+            let asid = self.tags.asid_of(m.id());
             if asid == Asid::NONE {
                 continue;
             }
-            for line in m.resident_lines() {
+            for line in self.tags.resident_lines(m.id()) {
                 if !seen.insert((asid, line)) {
                     return Some(asid);
                 }
@@ -43,17 +43,15 @@ impl MolecularCache {
     /// (diagnostics; does not consult shared molecules).
     pub fn resident_molecule_of(&self, asid: Asid, line: LineAddr) -> Option<MoleculeId> {
         let region = self.regions.get(&asid)?;
-        region
-            .molecules()
-            .find(|id| self.molecules[id.index()].lookup(line))
+        region.molecules().find(|id| self.tags.lookup(*id, line))
     }
 
     /// The frame of `molecule` in which `line` is resident, if any
     /// (diagnostics: frames map lines direct-mapped, `line % frames`).
     pub fn resident_frame_of(&self, molecule: MoleculeId, line: LineAddr) -> Option<usize> {
-        let m = &self.molecules[molecule.index()];
-        m.lookup(line)
-            .then(|| (line.0 % m.num_frames() as u64) as usize)
+        self.tags
+            .lookup(molecule, line)
+            .then(|| (line.0 % self.tags.frames_per_molecule() as u64) as usize)
     }
 
     /// The replacement-view row of `molecule` within `asid`'s region, if

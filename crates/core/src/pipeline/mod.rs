@@ -3,6 +3,10 @@
 //! A molecular cache services a request through an explicit hardware
 //! pipeline, and this module tree mirrors it one file per stage:
 //!
+//! 0. [`memo`] — the optional (`memo-front`, default-on) way/molecule
+//!    memoization front-end: a 509-slot direct-mapped array keyed by
+//!    (ASID, line) that remembers the last hit location; a memo hit
+//!    bypasses stages 1–3 while replaying their exact counters.
 //! 1. [`asid_gate`] — the §3.1 ASID-compare stage: every molecule of the
 //!    addressed tile compares the requestor's ASID, and only matching
 //!    molecules proceed to tag lookup. This is the dynamic-power lever —
@@ -37,7 +41,9 @@ pub mod asid_gate;
 pub mod fill;
 pub mod home_lookup;
 pub mod invariants;
+pub mod memo;
 pub mod ulmo_search;
 pub mod victim;
 
+pub use memo::MemoStats;
 pub use victim::{Lfsr16, LruDirectVictim, RandomVictim, RandyVictim, VictimPolicy};

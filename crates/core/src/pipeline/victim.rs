@@ -195,7 +195,7 @@ impl MolecularCache {
                 .molecules()
                 .iter()
                 .copied()
-                .filter(|id| self.molecules[id.index()].is_shared())
+                .filter(|id| self.tags.is_shared(*id))
                 .collect();
             if shared.is_empty() {
                 None

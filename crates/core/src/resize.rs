@@ -358,7 +358,7 @@ impl MolecularCache {
                 let Some(id) = self.tiles[tid.index()].take_free() else {
                     break;
                 };
-                let flushed = self.molecules[id.index()].configure(region.asid());
+                let flushed = self.configure_molecule(id, region.asid());
                 self.activity.writebacks += flushed;
                 region.add_molecule(id);
                 granted += 1;
@@ -370,6 +370,9 @@ impl MolecularCache {
         if granted < want {
             self.failed_allocations += 1;
         }
+        // Any change to the region's membership (and even a failed grant
+        // round) is a structural event: drop every memoized location.
+        self.memo_invalidate();
         granted
     }
 
@@ -408,6 +411,7 @@ impl MolecularCache {
             }
             Decision::Shrink(n) => {
                 let mut region = self.regions.remove(&asid).expect("present");
+                self.memo_invalidate();
                 let mut removed = 0;
                 for _ in 0..n {
                     let Some(id) =
@@ -415,7 +419,7 @@ impl MolecularCache {
                     else {
                         break;
                     };
-                    let flushed = self.molecules[id.index()].configure(Asid::NONE);
+                    let flushed = self.configure_molecule(id, Asid::NONE);
                     self.activity.writebacks += flushed;
                     let tile = self.molecules[id.index()].tile();
                     self.tiles[tile.index()].release(id);

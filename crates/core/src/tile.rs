@@ -28,7 +28,15 @@ pub struct Tile {
 
 impl Tile {
     /// Creates a tile owning the given molecules, all initially free.
+    ///
+    /// The ids must be contiguous and ascending: the flat tag arrays
+    /// ([`crate::tags::TagStore`]) rely on a tile's molecules occupying
+    /// one dense id range so the ASID gate is a single linear scan.
     pub fn new(id: TileId, cluster: ClusterId, molecules: Vec<MoleculeId>) -> Self {
+        debug_assert!(
+            molecules.windows(2).all(|w| w[1].0 == w[0].0 + 1),
+            "tile molecules must be id-contiguous for the flat tag arrays"
+        );
         let free = molecules.clone();
         Tile {
             id,
@@ -36,6 +44,12 @@ impl Tile {
             molecules,
             free,
         }
+    }
+
+    /// The flat-array index of the tile's first molecule: the tile's
+    /// gate/tag state is the `capacity()`-long slice starting here.
+    pub fn molecule_base(&self) -> usize {
+        self.molecules.first().map_or(0, |m| m.index())
     }
 
     /// The tile's identifier.

@@ -442,6 +442,7 @@ mod tests {
             asid_compares: 8,
             ulmo_searches: 1,
             free_molecules: 10,
+            memo_hits: 0,
             stages: {
                 let mut s = molcache_sim::StageActivity::default();
                 s.asid_gate.asid_compares = 8;
