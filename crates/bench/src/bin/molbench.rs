@@ -12,6 +12,7 @@
 //! | `mixed12` | the Table 2 MIXED12 workload through the 6 MB cache |
 //! | `access_batch` | the same MIXED12 stream via `access_batch` chunks |
 //! | `engine_sweep_x4` | four SPEC4 experiments fanned out through `Engine` |
+//! | `serve_mt:<n>` | 4-tenant molserve replay on n OS threads (smoke: n=1) |
 //!
 //! ```text
 //! molbench                                   # full suite, writes results/BENCH_<date>.json
@@ -33,6 +34,7 @@ use molcache_bench::report::{
 };
 use molcache_bench::stopwatch::{machine_line, measure, section, Timing};
 use molcache_core::{MolecularCache, RegionPolicy};
+use molcache_serve::{replay, CacheService, ReplayOptions};
 use molcache_sim::{CacheModel, Request};
 use molcache_trace::gen::{BoxedSource, TraceSource};
 use molcache_trace::interleave::Workload;
@@ -57,6 +59,15 @@ const SWEEP_JOBS: usize = 4;
 /// Chunk size of the `access_batch` workload — matches the batched
 /// driver in `molcache_sim::cmp`.
 const BATCH_CHUNK: usize = 1024;
+
+/// Tenant (= shard) count of the `serve_mt` workloads. Fixed like
+/// `SWEEP_JOBS` so workload definitions match across machines.
+const SERVE_TENANTS: usize = 4;
+
+/// Thread counts the `serve_mt` family sweeps in a full run. Smoke runs
+/// keep only the single-thread variant, which is what the CI baseline
+/// gates — multi-thread wall-clock depends on the host's core count.
+const SERVE_THREADS: [usize; 3] = [1, 2, 4];
 
 #[derive(Debug, Clone)]
 struct Args {
@@ -277,6 +288,53 @@ fn run_suite(args: &Args) -> Vec<WorkloadResult> {
         std::hint::black_box(summaries);
     });
     record("engine_sweep_x4", per_item * SWEEP_JOBS as u64, &t);
+
+    section("serve_mt");
+    // Interleaved multi-tenant replay through the sharded service: the
+    // trace set and the per-shard caches are identical across thread
+    // counts (the replay is deterministic by construction), so the
+    // variants differ only in wall-clock. Each timed iteration builds a
+    // fresh service so every sample replays against cold shards.
+    let per_tenant = (args.refs / SERVE_TENANTS as u64).max(1);
+    let traces = molcache_trace::tenants::tenant_traces(SERVE_TENANTS, per_tenant, args.seed);
+    let memo = args.memo;
+    let serve_seed = args.seed;
+    let threads: &[usize] = if args.smoke {
+        &SERVE_THREADS[..1]
+    } else {
+        &SERVE_THREADS
+    };
+    for &n in threads {
+        let t = measure(args.samples, args.budget, &mut || {
+            let service = CacheService::new(SERVE_TENANTS, |i| {
+                let mut cache = molecular_cache(
+                    1 << 20,
+                    1,
+                    4,
+                    RegionPolicy::Randy,
+                    0.1,
+                    serve_seed.wrapping_add(i as u64),
+                );
+                cache.set_memo_front(memo);
+                cache
+            });
+            let report = replay(
+                &service,
+                &traces,
+                ReplayOptions {
+                    threads: n,
+                    chunk: 256,
+                },
+            )
+            .expect("replay traffic is well-formed");
+            std::hint::black_box(report);
+        });
+        record(
+            &format!("serve_mt:{n}"),
+            per_tenant * SERVE_TENANTS as u64,
+            &t,
+        );
+    }
 
     results
 }

@@ -11,7 +11,13 @@
 //! molstat --policy randy,random --jobs 2 # one run per policy, fanned out
 //! molstat --stages --power               # per-stage cycles/events/energy
 //! molstat --refs 60000 --period 2000 --epoch 5000 --json > series.json
+//! molstat --serve serve.json             # render a molserve replay record
 //! ```
+//!
+//! `--serve FILE` is a standalone viewer mode: it renders a
+//! `molcache-serve-v1` document (written by `molserve --json`) as
+//! per-tenant hit-rate and per-cluster contention tables and exits
+//! without running any simulation.
 //!
 //! One run per listed policy; `--jobs N` fans the runs across workers.
 //! Runs are merged back in policy-list order, so the output (text and
@@ -33,6 +39,7 @@ use molcache_core::{MemoStats, MolecularCache, RegionPolicy, StageWallProfile};
 use molcache_power::calibrate::molecule_report;
 use molcache_power::tech::TechNode;
 use molcache_power::EnergyMeter;
+use molcache_serve::ServeDoc;
 use molcache_sim::cmp::RunSummary;
 use molcache_sim::{Activity, CacheModel};
 use molcache_telemetry::runs_to_json;
@@ -50,6 +57,7 @@ struct Args {
     power: bool,
     stages: bool,
     memo: bool,
+    serve: Option<String>,
 }
 
 fn usage() -> ! {
@@ -66,7 +74,10 @@ fn usage() -> ! {
          \u{20} --memo    print the memoization front-end's effectiveness\n\
          \u{20}           (hits, lookups, hit rate, stale entries, generation\n\
          \u{20}           bumps; needs a build with the memo-front feature)\n\
-         \u{20} --json    print the merged time-series as JSON on stdout"
+         \u{20} --json    print the merged time-series as JSON on stdout\n\
+         \u{20} --serve FILE  render a molserve replay record (molcache-serve-v1\n\
+         \u{20}           JSON from `molserve --json`) and exit: per-tenant\n\
+         \u{20}           hit-rate table plus per-cluster contention counters"
     );
     std::process::exit(2);
 }
@@ -92,6 +103,7 @@ fn parse_args() -> Args {
         power: false,
         stages: false,
         memo: false,
+        serve: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -107,6 +119,7 @@ fn parse_args() -> Args {
             "--power" => args.power = true,
             "--stages" => args.stages = true,
             "--memo" => args.memo = true,
+            "--serve" => args.serve = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -242,8 +255,63 @@ fn report_stages(run: &RunResult, meter: Option<&EnergyMeter>) -> bool {
     ok
 }
 
+/// Renders a `molcache-serve-v1` replay record: run parameters,
+/// per-tenant hit-rate table and per-cluster contention counters.
+fn report_serve(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = ServeDoc::from_json(&text).map_err(|e| format!("invalid record {path}: {e}"))?;
+    println!(
+        "molserve replay: {} tenants on {} threads over {} shards, \
+         {} refs/tenant, seed {}",
+        doc.tenants, doc.threads, doc.shards, doc.refs_per_tenant, doc.seed,
+    );
+    println!(
+        "  wall {:.1} ms, {:.0} accesses/sec, imbalance {:.3}",
+        doc.wall_ns as f64 / 1e6,
+        doc.accesses_per_sec,
+        doc.imbalance,
+    );
+    println!();
+    println!("  tenant  benchmark   shard   accesses      hit%   writebacks   avg-lat");
+    for t in &doc.per_tenant {
+        println!(
+            "  {:>6}  {:<10} {:>5} {:>10}   {:>6.2}% {:>12} {:>9.1}",
+            t.asid,
+            t.benchmark,
+            t.shard,
+            t.stats.accesses,
+            t.stats.hit_rate() * 100.0,
+            t.stats.writebacks,
+            t.stats.avg_latency(),
+        );
+    }
+    println!();
+    println!("  shard   acquisitions  contended  cont%   wait(us)  maxq   accesses    hit%");
+    for s in &doc.per_shard {
+        println!(
+            "  {:>5} {:>14} {:>10} {:>5.1}% {:>10.1} {:>5} {:>10}  {:>5.1}%",
+            s.shard,
+            s.acquisitions,
+            s.contended,
+            s.contention_rate() * 100.0,
+            s.lock_wait_ns as f64 / 1e3,
+            s.max_queue_depth,
+            s.accesses,
+            s.hit_rate() * 100.0,
+        );
+    }
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(path) = &args.serve {
+        if let Err(msg) = report_serve(path) {
+            eprintln!("molstat: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let (refs, seed, period) = (args.refs, args.seed, args.period);
 
     let results = Engine::new(args.jobs).run_recorded(

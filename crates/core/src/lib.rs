@@ -58,6 +58,7 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod ids;
+mod lifecycle;
 pub mod molecule;
 mod observe;
 pub mod pipeline;

@@ -410,22 +410,10 @@ impl MolecularCache {
                 self.publish_resize(asid, ResizeKind::Grow, n, granted, current, mr, goal);
             }
             Decision::Shrink(n) => {
-                let mut region = self.regions.remove(&asid).expect("present");
-                self.memo_invalidate();
-                let mut removed = 0;
-                for _ in 0..n {
-                    let Some(id) =
-                        region.remove_coldest(|m| self.molecules[m.index()].miss_count())
-                    else {
-                        break;
-                    };
-                    let flushed = self.configure_molecule(id, Asid::NONE);
-                    self.activity.writebacks += flushed;
-                    let tile = self.molecules[id.index()].tile();
-                    self.tiles[tile.index()].release(id);
-                    removed += 1;
-                }
-                self.regions.insert(asid, region);
+                // The one shrink path, shared with the lifecycle API so
+                // goal-driven and tenant-driven withdrawal bump the memo
+                // generation identically (see `crate::lifecycle`).
+                let removed = self.shrink_region(asid, n);
                 self.publish_resize(asid, ResizeKind::Shrink, n, removed, current, mr, goal);
             }
             Decision::Hold => {}

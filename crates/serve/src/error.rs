@@ -1,0 +1,54 @@
+//! Error type for the serving layer.
+
+use molcache_trace::Asid;
+use std::fmt;
+
+/// Why a service call was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// `admit` for an ASID that already has an active tenancy.
+    AlreadyAdmitted(Asid),
+    /// `admit_to` named a shard the service does not have.
+    UnknownShard {
+        /// The shard index that was requested.
+        shard: usize,
+        /// How many shards the service has.
+        shards: usize,
+    },
+    /// The handle's generation no longer matches the router slot: the
+    /// tenancy was revoked (and possibly re-admitted) after the handle
+    /// was issued. In-flight work holding such a handle must stop.
+    Revoked(Asid),
+    /// A request carried a different ASID than the handle it was
+    /// submitted under — tenants cannot issue traffic for each other.
+    AsidMismatch {
+        /// The handle's ASID.
+        handle: Asid,
+        /// The request's ASID.
+        request: Asid,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::AlreadyAdmitted(asid) => {
+                write!(f, "asid {} is already admitted", asid.raw())
+            }
+            ServeError::UnknownShard { shard, shards } => {
+                write!(f, "shard {shard} does not exist (service has {shards})")
+            }
+            ServeError::Revoked(asid) => {
+                write!(f, "tenancy of asid {} was revoked", asid.raw())
+            }
+            ServeError::AsidMismatch { handle, request } => write!(
+                f,
+                "request asid {} does not match handle asid {}",
+                request.raw(),
+                handle.raw()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

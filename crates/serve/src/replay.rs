@@ -1,0 +1,255 @@
+//! Deterministic multi-threaded trace replay.
+//!
+//! The replay partitions work by **shard**, never by tenant: every
+//! shard's tenant group is driven by exactly one worker at a time, in
+//! chunked round-robin order over the group (the same order
+//! `molcache_trace::tenants::interleave_chunked` serializes). Worker
+//! threads pull whole shards off an atomic work queue. Since shards
+//! share no cache state, the sequence of operations applied to each
+//! cache is a pure function of `(traces, shards, chunk)` — the thread
+//! count only changes which shards run concurrently, not what any
+//! shard does. Per-tenant statistics are therefore bit-identical
+//! across thread counts, which is what `molserve --verify` and the
+//! determinism tests check.
+
+use crate::error::ServeError;
+use crate::router::TenantHandle;
+use crate::service::CacheService;
+use molcache_sim::{AppStats, Request};
+use molcache_telemetry::ShardContention;
+use molcache_trace::tenants::TenantTrace;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Replay knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayOptions {
+    /// Worker threads driving the shards.
+    pub threads: usize,
+    /// Accesses per tenant per turn of the in-shard round-robin.
+    pub chunk: usize,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            threads: 1,
+            chunk: 256,
+        }
+    }
+}
+
+/// One tenant's end-of-replay accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantReport {
+    /// The tenant's ASID.
+    pub asid: molcache_trace::Asid,
+    /// Benchmark personality name (from the trace).
+    pub benchmark: String,
+    /// Shard the tenant was served from.
+    pub shard: usize,
+    /// Accesses replayed for this tenant.
+    pub replayed: u64,
+    /// The shard cache's per-app statistics for this tenant.
+    pub stats: AppStats,
+}
+
+/// What a replay produced.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Per-tenant accounting, in admission order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-shard contention counters.
+    pub shards: Vec<ShardContention>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock nanoseconds for the replay proper (admissions and
+    /// stat collection excluded).
+    pub wall_ns: u64,
+    /// Total accesses across all tenants.
+    pub total_accesses: u64,
+}
+
+impl ReplayReport {
+    /// Replay throughput in accesses per second.
+    pub fn accesses_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.total_accesses as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
+
+    /// Cross-shard load imbalance.
+    pub fn imbalance(&self) -> f64 {
+        molcache_telemetry::imbalance(&self.shards)
+    }
+}
+
+/// Admits every tenant (round-robin placement) and replays their
+/// traces across `opts.threads` workers.
+pub fn replay(
+    service: &CacheService,
+    traces: &[TenantTrace],
+    opts: ReplayOptions,
+) -> Result<ReplayReport, ServeError> {
+    let handles: Vec<TenantHandle> = traces
+        .iter()
+        .map(|t| service.admit(t.asid))
+        .collect::<Result<_, _>>()?;
+
+    // Requests up front, so conversion cost is outside the timed region.
+    let requests: Vec<Vec<Request>> = traces
+        .iter()
+        .map(|t| t.accesses.iter().map(|&a| a.into()).collect())
+        .collect();
+
+    // Group tenants by the shard they landed on; each group is one
+    // unit of work.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); service.shard_count()];
+    for (i, h) in handles.iter().enumerate() {
+        groups[h.shard()].push(i);
+    }
+    let groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+
+    let threads = opts.threads.max(1);
+    let chunk = opts.chunk.max(1);
+    let next_group = AtomicUsize::new(0);
+
+    let drive_group = |group: &[usize]| -> Result<(), ServeError> {
+        // Chunked round-robin over the group's tenants: the exact
+        // order `interleave_chunked` serializes.
+        let mut cursors = vec![0usize; group.len()];
+        let mut live = group.len();
+        while live > 0 {
+            live = 0;
+            for (slot, &tenant) in group.iter().enumerate() {
+                let reqs = &requests[tenant];
+                let at = cursors[slot];
+                if at >= reqs.len() {
+                    continue;
+                }
+                let end = (at + chunk).min(reqs.len());
+                service.access_batch(&handles[tenant], &reqs[at..end])?;
+                cursors[slot] = end;
+                live += 1;
+            }
+        }
+        Ok(())
+    };
+
+    let start = Instant::now();
+    let worker = || -> Result<(), ServeError> {
+        loop {
+            let g = next_group.fetch_add(1, Ordering::Relaxed);
+            let Some(group) = groups.get(g) else {
+                return Ok(());
+            };
+            drive_group(group)?;
+        }
+    };
+    if threads == 1 {
+        worker()?;
+    } else {
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            joins
+                .into_iter()
+                .try_for_each(|j| j.join().expect("replay worker panicked"))
+        })?;
+    }
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let tenants = traces
+        .iter()
+        .zip(&handles)
+        .map(|(t, h)| {
+            Ok(TenantReport {
+                asid: t.asid,
+                benchmark: t.benchmark.name().to_string(),
+                shard: h.shard(),
+                replayed: t.accesses.len() as u64,
+                stats: service.tenant_stats(h)?,
+            })
+        })
+        .collect::<Result<Vec<_>, ServeError>>()?;
+    let total_accesses = tenants.iter().map(|t| t.replayed).sum();
+
+    Ok(ReplayReport {
+        tenants,
+        shards: service.contention(),
+        threads,
+        wall_ns,
+        total_accesses,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use molcache_core::{
+        config::InitialAllocation, MolecularCache, MolecularConfig, ResizeTrigger,
+    };
+    use molcache_trace::tenants::tenant_traces;
+
+    fn service(shards: usize) -> CacheService {
+        CacheService::new(shards, |i| {
+            let cfg = MolecularConfig::builder()
+                .molecule_size(2048)
+                .tile_molecules(16)
+                .tiles_per_cluster(2)
+                .clusters(1)
+                .initial_allocation(InitialAllocation::Molecules(2))
+                .trigger(ResizeTrigger::Constant { period: 10_000 })
+                .seed(0xC0FFEE ^ i as u64)
+                .build()
+                .unwrap();
+            MolecularCache::new(cfg)
+        })
+    }
+
+    #[test]
+    fn replay_accounts_for_every_access() {
+        let traces = tenant_traces(3, 2_000, 11);
+        let svc = service(2);
+        let report = replay(&svc, &traces, ReplayOptions::default()).unwrap();
+        assert_eq!(report.total_accesses, 6_000);
+        assert_eq!(report.tenants.len(), 3);
+        for (t, trace) in report.tenants.iter().zip(&traces) {
+            assert_eq!(t.asid, trace.asid);
+            assert_eq!(
+                t.stats.accesses, 2_000,
+                "all of {}'s traffic ran",
+                t.benchmark
+            );
+        }
+        let shard_total: u64 = report.shards.iter().map(|s| s.accesses).sum();
+        assert_eq!(shard_total, 6_000);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_tenant_stats() {
+        let traces = tenant_traces(4, 3_000, 23);
+        let single = replay(
+            &service(4),
+            &traces,
+            ReplayOptions {
+                threads: 1,
+                chunk: 128,
+            },
+        )
+        .unwrap();
+        let multi = replay(
+            &service(4),
+            &traces,
+            ReplayOptions {
+                threads: 3,
+                chunk: 128,
+            },
+        )
+        .unwrap();
+        for (a, b) in single.tenants.iter().zip(&multi.tenants) {
+            assert_eq!(a, b, "per-tenant stats must not depend on threads");
+        }
+    }
+}

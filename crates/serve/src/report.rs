@@ -1,0 +1,326 @@
+//! The `molcache-serve-v1` replay document: what `molserve --json`
+//! emits and `molstat --serve` renders. Hand-rolled JSON via
+//! `molcache-metrics`' encoder, mirroring the bench crate's
+//! `molcache-bench-v1` idiom.
+
+use crate::replay::ReplayReport;
+use molcache_metrics::json::{self, JsonError, Value};
+use molcache_sim::AppStats;
+use molcache_telemetry::ShardContention;
+use molcache_trace::Asid;
+
+/// Schema tag for serve replay documents.
+pub const SERVE_SCHEMA: &str = "molcache-serve-v1";
+
+/// A serialization-friendly replay record: the [`ReplayReport`] plus
+/// the run parameters needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct ServeDoc {
+    /// Tenant count.
+    pub tenants: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cluster shards in the service.
+    pub shards: usize,
+    /// Accesses per tenant.
+    pub refs_per_tenant: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Wall-clock nanoseconds of the replay.
+    pub wall_ns: u64,
+    /// Replay throughput.
+    pub accesses_per_sec: f64,
+    /// Cross-shard load imbalance.
+    pub imbalance: f64,
+    /// Per-tenant records, admission order.
+    pub per_tenant: Vec<TenantRecord>,
+    /// Per-shard contention records.
+    pub per_shard: Vec<ShardContention>,
+}
+
+/// One tenant's row in the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantRecord {
+    /// Tenant ASID.
+    pub asid: u16,
+    /// Benchmark personality name.
+    pub benchmark: String,
+    /// Shard the tenant was served from.
+    pub shard: usize,
+    /// The shard cache's statistics for this tenant.
+    pub stats: AppStats,
+}
+
+impl ServeDoc {
+    /// Builds a document from a finished replay and its parameters.
+    pub fn from_report(
+        report: &ReplayReport,
+        refs_per_tenant: u64,
+        seed: u64,
+        shards: usize,
+    ) -> Self {
+        ServeDoc {
+            tenants: report.tenants.len(),
+            threads: report.threads,
+            shards,
+            refs_per_tenant,
+            seed,
+            wall_ns: report.wall_ns,
+            accesses_per_sec: report.accesses_per_sec(),
+            imbalance: report.imbalance(),
+            per_tenant: report
+                .tenants
+                .iter()
+                .map(|t| TenantRecord {
+                    asid: t.asid.raw(),
+                    benchmark: t.benchmark.clone(),
+                    shard: t.shard,
+                    stats: t.stats,
+                })
+                .collect(),
+            per_shard: report.shards.clone(),
+        }
+    }
+
+    /// Encodes the document as a JSON tree.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schema".into(), Value::String(SERVE_SCHEMA.into())),
+            ("tenants".into(), Value::Number(self.tenants as f64)),
+            ("threads".into(), Value::Number(self.threads as f64)),
+            ("shards".into(), Value::Number(self.shards as f64)),
+            (
+                "refs_per_tenant".into(),
+                Value::Number(self.refs_per_tenant as f64),
+            ),
+            ("seed".into(), Value::Number(self.seed as f64)),
+            ("wall_ns".into(), Value::Number(self.wall_ns as f64)),
+            (
+                "accesses_per_sec".into(),
+                Value::Number(self.accesses_per_sec),
+            ),
+            ("imbalance".into(), Value::Number(self.imbalance)),
+            (
+                "per_tenant".into(),
+                Value::Array(self.per_tenant.iter().map(tenant_value).collect()),
+            ),
+            (
+                "per_shard".into(),
+                Value::Array(self.per_shard.iter().map(shard_value).collect()),
+            ),
+        ])
+    }
+
+    /// Encodes the document as pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        self.to_value().to_json()
+    }
+
+    /// Decodes a document, checking the schema tag.
+    pub fn from_json(input: &str) -> Result<ServeDoc, String> {
+        let value = json::parse(input).map_err(|e| format!("parse error: {e}"))?;
+        let schema = value
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SERVE_SCHEMA {
+            return Err(format!("expected schema {SERVE_SCHEMA}, got {schema}"));
+        }
+        let num = |name: &str| -> Result<f64, String> {
+            value
+                .get(name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing number field '{name}'"))
+        };
+        let per_tenant = value
+            .get("per_tenant")
+            .and_then(Value::as_array)
+            .ok_or("missing per_tenant array")?
+            .iter()
+            .map(parse_tenant)
+            .collect::<Result<Vec<_>, _>>()?;
+        let per_shard = value
+            .get("per_shard")
+            .and_then(Value::as_array)
+            .ok_or("missing per_shard array")?
+            .iter()
+            .map(parse_shard)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ServeDoc {
+            tenants: num("tenants")? as usize,
+            threads: num("threads")? as usize,
+            shards: num("shards")? as usize,
+            refs_per_tenant: num("refs_per_tenant")? as u64,
+            seed: num("seed")? as u64,
+            wall_ns: num("wall_ns")? as u64,
+            accesses_per_sec: num("accesses_per_sec")?,
+            imbalance: num("imbalance")?,
+            per_tenant,
+            per_shard,
+        })
+    }
+}
+
+fn tenant_value(t: &TenantRecord) -> Value {
+    Value::Object(vec![
+        ("asid".into(), Value::Number(t.asid as f64)),
+        ("benchmark".into(), Value::String(t.benchmark.clone())),
+        ("shard".into(), Value::Number(t.shard as f64)),
+        ("accesses".into(), Value::Number(t.stats.accesses as f64)),
+        ("hits".into(), Value::Number(t.stats.hits as f64)),
+        ("misses".into(), Value::Number(t.stats.misses as f64)),
+        (
+            "writebacks".into(),
+            Value::Number(t.stats.writebacks as f64),
+        ),
+        (
+            "total_latency".into(),
+            Value::Number(t.stats.total_latency as f64),
+        ),
+    ])
+}
+
+fn parse_tenant(v: &Value) -> Result<TenantRecord, String> {
+    let num = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Value::as_f64)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("tenant record missing '{name}'"))
+    };
+    Ok(TenantRecord {
+        asid: num("asid")? as u16,
+        benchmark: v
+            .get("benchmark")
+            .and_then(Value::as_str)
+            .ok_or("tenant record missing 'benchmark'")?
+            .to_string(),
+        shard: num("shard")? as usize,
+        stats: AppStats {
+            accesses: num("accesses")?,
+            hits: num("hits")?,
+            misses: num("misses")?,
+            writebacks: num("writebacks")?,
+            total_latency: num("total_latency")?,
+        },
+    })
+}
+
+fn shard_value(s: &ShardContention) -> Value {
+    Value::Object(vec![
+        ("shard".into(), Value::Number(s.shard as f64)),
+        ("acquisitions".into(), Value::Number(s.acquisitions as f64)),
+        ("contended".into(), Value::Number(s.contended as f64)),
+        ("lock_wait_ns".into(), Value::Number(s.lock_wait_ns as f64)),
+        (
+            "max_queue_depth".into(),
+            Value::Number(s.max_queue_depth as f64),
+        ),
+        ("accesses".into(), Value::Number(s.accesses as f64)),
+        ("hits".into(), Value::Number(s.hits as f64)),
+    ])
+}
+
+fn parse_shard(v: &Value) -> Result<ShardContention, String> {
+    let num = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Value::as_f64)
+            .map(|n| n as u64)
+            .ok_or_else(|| format!("shard record missing '{name}'"))
+    };
+    Ok(ShardContention {
+        shard: num("shard")? as usize,
+        acquisitions: num("acquisitions")?,
+        contended: num("contended")?,
+        lock_wait_ns: num("lock_wait_ns")?,
+        max_queue_depth: num("max_queue_depth")?,
+        accesses: num("accesses")?,
+        hits: num("hits")?,
+    })
+}
+
+/// Convenience: the ASID a tenant row refers to.
+pub fn record_asid(record: &TenantRecord) -> Asid {
+    Asid::new(record.asid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> ServeDoc {
+        ServeDoc {
+            tenants: 2,
+            threads: 4,
+            shards: 2,
+            refs_per_tenant: 1000,
+            seed: 42,
+            wall_ns: 5_000_000,
+            accesses_per_sec: 400_000.0,
+            imbalance: 1.25,
+            per_tenant: vec![
+                TenantRecord {
+                    asid: 1,
+                    benchmark: "mcf".into(),
+                    shard: 0,
+                    stats: AppStats {
+                        accesses: 1000,
+                        hits: 600,
+                        misses: 400,
+                        writebacks: 55,
+                        total_latency: 123_456,
+                    },
+                },
+                TenantRecord {
+                    asid: 2,
+                    benchmark: "art".into(),
+                    shard: 1,
+                    stats: AppStats {
+                        accesses: 1000,
+                        hits: 900,
+                        misses: 100,
+                        writebacks: 7,
+                        total_latency: 65_432,
+                    },
+                },
+            ],
+            per_shard: vec![
+                ShardContention {
+                    shard: 0,
+                    acquisitions: 10,
+                    contended: 2,
+                    lock_wait_ns: 900,
+                    max_queue_depth: 3,
+                    accesses: 1000,
+                    hits: 600,
+                },
+                ShardContention {
+                    shard: 1,
+                    acquisitions: 8,
+                    contended: 0,
+                    lock_wait_ns: 0,
+                    max_queue_depth: 1,
+                    accesses: 1000,
+                    hits: 900,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn document_round_trips_through_json() {
+        let original = doc();
+        let text = original.to_json().unwrap();
+        let parsed = ServeDoc::from_json(&text).unwrap();
+        assert_eq!(parsed.tenants, original.tenants);
+        assert_eq!(parsed.threads, original.threads);
+        assert_eq!(parsed.per_tenant, original.per_tenant);
+        assert_eq!(parsed.per_shard, original.per_shard);
+        assert_eq!(parsed.wall_ns, original.wall_ns);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = ServeDoc::from_json(r#"{"schema": "molcache-bench-v1"}"#).unwrap_err();
+        assert!(err.contains("molcache-serve-v1"), "{err}");
+    }
+}

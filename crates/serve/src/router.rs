@@ -1,0 +1,177 @@
+//! ASID → shard routing with generation-counted tenancies.
+//!
+//! The router is a dense table — one `AtomicU64` per possible ASID,
+//! the same dense-array trade the core's `RegionTable` makes (the ASID
+//! space is 16 bits, so the whole table is 512 KiB and every lookup is
+//! one indexed atomic load, no hashing, no locks).
+//!
+//! Each slot packs three fields:
+//!
+//! ```text
+//! bit 0       active   — 1 while the ASID has a live tenancy
+//! bits 1..16  shard    — which cluster shard owns the ASID
+//! bits 16..   generation — bumped on every admit and revoke
+//! ```
+//!
+//! A [`TenantHandle`] records the entire slot word (`token`) at
+//! admission. Validation is a single load-and-compare: any lifecycle
+//! transition since the handle was issued changed the generation, so
+//! the comparison fails and the caller gets [`ServeError::Revoked`]
+//! (see `service.rs` for where validation sits relative to the shard
+//! lock). Slot *writes* happen only under the service's admin lock;
+//! the atomics are for the lock-free reads on the access path.
+//!
+//! [`ServeError::Revoked`]: crate::ServeError::Revoked
+
+use molcache_trace::Asid;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ACTIVE_BIT: u64 = 1;
+const SHARD_SHIFT: u32 = 1;
+const SHARD_MASK: u64 = 0x7FFF; // 15 bits
+const GEN_SHIFT: u32 = 16;
+
+/// A capability for one tenancy: ASID, owning shard, and the router
+/// word at admission time. Cheap to copy; sharable across the threads
+/// driving one tenant's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantHandle {
+    pub(crate) asid: Asid,
+    pub(crate) shard: usize,
+    pub(crate) token: u64,
+}
+
+impl TenantHandle {
+    /// The tenant's ASID.
+    pub fn asid(&self) -> Asid {
+        self.asid
+    }
+
+    /// The shard this tenancy was placed on.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// Dense ASID → (active, shard, generation) table.
+pub struct TenantRouter {
+    slots: Vec<AtomicU64>,
+}
+
+impl TenantRouter {
+    /// One slot for every representable ASID.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(1 << 16);
+        slots.resize_with(1 << 16, || AtomicU64::new(0));
+        TenantRouter { slots }
+    }
+
+    fn slot(&self, asid: Asid) -> &AtomicU64 {
+        &self.slots[asid.raw() as usize]
+    }
+
+    /// Whether `asid` currently has an active tenancy.
+    pub fn is_active(&self, asid: Asid) -> bool {
+        self.slot(asid).load(Ordering::Acquire) & ACTIVE_BIT != 0
+    }
+
+    /// The shard owning `asid`, if active.
+    pub fn shard_of(&self, asid: Asid) -> Option<usize> {
+        let word = self.slot(asid).load(Ordering::Acquire);
+        (word & ACTIVE_BIT != 0).then_some(((word >> SHARD_SHIFT) & SHARD_MASK) as usize)
+    }
+
+    /// Activates a tenancy on `shard` and returns the new slot word —
+    /// the handle token. Caller must hold the admin lock and must have
+    /// checked the slot is inactive.
+    pub(crate) fn activate(&self, asid: Asid, shard: usize) -> u64 {
+        debug_assert!(shard as u64 <= SHARD_MASK);
+        let slot = self.slot(asid);
+        let generation = (slot.load(Ordering::Relaxed) >> GEN_SHIFT) + 1;
+        let word = (generation << GEN_SHIFT) | ((shard as u64) << SHARD_SHIFT) | ACTIVE_BIT;
+        slot.store(word, Ordering::Release);
+        word
+    }
+
+    /// Deactivates `asid`'s tenancy, bumping the generation so every
+    /// outstanding handle fails validation. Caller must hold the admin
+    /// lock.
+    pub(crate) fn deactivate(&self, asid: Asid) {
+        let slot = self.slot(asid);
+        let generation = (slot.load(Ordering::Relaxed) >> GEN_SHIFT) + 1;
+        slot.store(generation << GEN_SHIFT, Ordering::Release);
+    }
+
+    /// Whether `handle` still names the current tenancy of its ASID.
+    pub fn validate(&self, handle: &TenantHandle) -> bool {
+        self.slot(handle.asid).load(Ordering::Acquire) == handle.token
+    }
+}
+
+impl Default for TenantRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_round_trips_shard_and_validates() {
+        let router = TenantRouter::new();
+        let asid = Asid::new(7);
+        assert!(!router.is_active(asid));
+        assert_eq!(router.shard_of(asid), None);
+
+        let token = router.activate(asid, 3);
+        let handle = TenantHandle {
+            asid,
+            shard: 3,
+            token,
+        };
+        assert!(router.is_active(asid));
+        assert_eq!(router.shard_of(asid), Some(3));
+        assert!(router.validate(&handle));
+    }
+
+    #[test]
+    fn deactivation_invalidates_old_handles_forever() {
+        let router = TenantRouter::new();
+        let asid = Asid::new(1);
+        let first = TenantHandle {
+            asid,
+            shard: 0,
+            token: router.activate(asid, 0),
+        };
+        router.deactivate(asid);
+        assert!(!router.is_active(asid));
+        assert!(!router.validate(&first), "revoked handle must fail");
+
+        // Re-admission mints a fresh generation: the new handle works,
+        // the old one still fails.
+        let second = TenantHandle {
+            asid,
+            shard: 2,
+            token: router.activate(asid, 2),
+        };
+        assert!(router.validate(&second));
+        assert!(!router.validate(&first), "stale across re-admit too");
+        assert_eq!(router.shard_of(asid), Some(2));
+    }
+
+    #[test]
+    fn generations_increase_monotonically() {
+        let router = TenantRouter::new();
+        let asid = Asid::new(9);
+        let mut last = 0;
+        for round in 0..5 {
+            let token = router.activate(asid, round % 4);
+            let generation = token >> GEN_SHIFT;
+            assert!(generation > last, "generation must grow");
+            last = generation;
+            router.deactivate(asid);
+        }
+    }
+}

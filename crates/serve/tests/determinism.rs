@@ -1,0 +1,172 @@
+//! The molserve determinism contract (acceptance criterion of the
+//! molserve PR): replaying the same multi-tenant traffic through the
+//! same service geometry yields bit-identical per-tenant statistics for
+//! ANY worker thread count, because work is partitioned by shard and
+//! each shard's operation sequence is fixed. The CI stress job repeats
+//! this file to shake out scheduling-dependent regressions.
+
+use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
+use molcache_serve::{replay, CacheService, ReplayOptions, ServeError};
+use molcache_sim::{CacheModel, Request};
+use molcache_trace::tenants::{interleave_chunked, tenant_traces};
+use molcache_trace::Asid;
+
+/// The molserve binary's per-shard geometry, scaled down 4× so the
+/// test stays fast: one cluster of 2 tiles × 16 × 8 KiB molecules.
+fn shard_cache(seed: u64, shard: usize) -> MolecularCache {
+    let cfg = MolecularConfig::builder()
+        .molecule_size(8 * 1024)
+        .tile_molecules(16)
+        .tiles_per_cluster(2)
+        .clusters(1)
+        .policy(RegionPolicy::Randy)
+        .miss_rate_goal(0.1)
+        .trigger(ResizeTrigger::GlobalAdaptive {
+            initial_period: 5_000,
+        })
+        .seed(seed ^ (shard as u64).wrapping_mul(0x9E3779B97F4A7C15))
+        .build()
+        .unwrap();
+    MolecularCache::new(cfg)
+}
+
+fn service(shards: usize, seed: u64) -> CacheService {
+    CacheService::new(shards, |i| shard_cache(seed, i))
+}
+
+/// 4 tenants / 4 shards / 4 threads vs the same on 1 thread: every
+/// tenant's statistics are identical, field for field.
+#[test]
+fn four_threads_match_one_thread_bit_for_bit() {
+    let traces = tenant_traces(4, 25_000, 0xA51D);
+    let opts = |threads| ReplayOptions {
+        threads,
+        chunk: 256,
+    };
+
+    let multi = replay(&service(4, 7), &traces, opts(4)).unwrap();
+    let single = replay(&service(4, 7), &traces, opts(1)).unwrap();
+
+    assert_eq!(multi.tenants.len(), 4);
+    assert_eq!(multi.total_accesses, 100_000);
+    for (a, b) in multi.tenants.iter().zip(&single.tenants) {
+        assert_eq!(
+            a,
+            b,
+            "tenant {} diverged across thread counts",
+            a.asid.raw()
+        );
+    }
+    // Shard traffic counters agree too (wait times of course differ).
+    for (a, b) in multi.shards.iter().zip(&single.shards) {
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(a.hits, b.hits);
+    }
+}
+
+/// Thread counts that do not divide the shard count (and exceed it)
+/// change nothing either.
+#[test]
+fn oversubscribed_and_ragged_thread_counts_agree() {
+    let traces = tenant_traces(5, 8_000, 99);
+    let baseline = replay(
+        &service(3, 1),
+        &traces,
+        ReplayOptions {
+            threads: 1,
+            chunk: 64,
+        },
+    )
+    .unwrap();
+    for threads in [2, 3, 8] {
+        let run = replay(
+            &service(3, 1),
+            &traces,
+            ReplayOptions { threads, chunk: 64 },
+        )
+        .unwrap();
+        for (a, b) in run.tenants.iter().zip(&baseline.tenants) {
+            assert_eq!(a, b, "{threads}-thread replay diverged");
+        }
+    }
+}
+
+/// The shard-partitioned replay services exactly the serialized order
+/// `interleave_chunked` defines: driving one bare cache with that
+/// sequence reproduces the single-shard service's statistics.
+#[test]
+fn replay_order_matches_the_serialized_interleaving() {
+    let traces = tenant_traces(3, 5_000, 11);
+    let chunk = 128;
+
+    let report = replay(&service(1, 5), &traces, ReplayOptions { threads: 1, chunk }).unwrap();
+
+    let mut bare = shard_cache(5, 0);
+    for t in &traces {
+        bare.admit_app(t.asid);
+    }
+    for access in interleave_chunked(&traces, chunk) {
+        bare.access(Request::from(access));
+    }
+    for t in &report.tenants {
+        assert_eq!(
+            t.stats,
+            bare.stats().app(t.asid),
+            "service replay diverged from the serialized reference for {}",
+            t.benchmark
+        );
+    }
+}
+
+/// Revocation under concurrency: revoke returns only after the shard
+/// lock has been cycled, so a worker hammering the revoked handle never
+/// sees a success afterwards — its first post-revoke acquisition fails.
+#[test]
+fn revoked_handle_fails_from_other_threads_once_revoke_returns() {
+    let svc = service(1, 3);
+    let asid = Asid::new(1);
+    let handle = svc.admit(asid).unwrap();
+    let req = Request {
+        asid,
+        addr: molcache_trace::Address::new(64),
+        kind: molcache_trace::AccessKind::Read,
+    };
+
+    std::thread::scope(|scope| {
+        let svc = &svc;
+        let worker = scope.spawn(move || {
+            // Spin until the revocation lands, then prove it is final.
+            let mut successes_after_failure = 0u64;
+            let mut failed = false;
+            for i in 0..5_000_000u64 {
+                // Give the revoking thread scheduling room on small hosts.
+                if !failed && i % 256 == 0 {
+                    std::thread::yield_now();
+                }
+                match svc.access(&handle, req) {
+                    Ok(_) if failed => successes_after_failure += 1,
+                    Ok(_) => {}
+                    Err(ServeError::Revoked(_)) if failed => break,
+                    Err(ServeError::Revoked(_)) => failed = true,
+                    Err(e) => panic!("unexpected error {e}"),
+                }
+            }
+            (failed, successes_after_failure)
+        });
+
+        svc.revoke(&handle).unwrap();
+        // From this point every further access must fail — including
+        // from this thread, immediately.
+        assert_eq!(
+            svc.access(&handle, req).err(),
+            Some(ServeError::Revoked(asid))
+        );
+
+        let (failed, successes_after_failure) = worker.join().unwrap();
+        assert!(failed, "worker observed the revocation");
+        assert_eq!(
+            successes_after_failure, 0,
+            "no access may succeed after one has failed revoked"
+        );
+    });
+}

@@ -1,0 +1,239 @@
+//! Property tests for the serving layer (satellite of the molserve PR):
+//! arbitrary interleavings of `admit` / `access` / `resize` / `evict` /
+//! `revoke` through a single-shard [`CacheService`] are observationally
+//! identical to driving a plain single-threaded [`MolecularCache`]
+//! through the equivalent lifecycle calls — same per-tenant statistics,
+//! same access outcomes, same region state — and no access ever
+//! succeeds through a revoked handle.
+//!
+//! With one shard the service adds only the router, the locks and the
+//! handle validation around the cache; this test pins down that those
+//! layers are pure plumbing.
+
+use molcache_core::config::InitialAllocation;
+use molcache_core::{MolecularCache, MolecularConfig, ResizeTrigger};
+use molcache_serve::{CacheService, ServeError, TenantHandle};
+use molcache_sim::{CacheModel, Request};
+use molcache_trace::{AccessKind, Address, Asid};
+use proptest::prelude::*;
+
+/// Same torture geometry as the core memo property tests: small cache,
+/// aggressive constant resize trigger, so short op sequences exercise
+/// grows, shrinks and releases.
+fn torture_config() -> MolecularConfig {
+    MolecularConfig::builder()
+        .molecule_size(1024)
+        .tile_molecules(8)
+        .tiles_per_cluster(2)
+        .clusters(1)
+        .initial_allocation(InitialAllocation::Molecules(2))
+        .trigger(ResizeTrigger::Constant { period: 64 })
+        .miss_rate_goal(0.05)
+        .build()
+        .unwrap()
+}
+
+const TENANTS: usize = 3;
+
+/// One step of a generated interleaving, decoded from two raw u64
+/// draws. Accesses dominate; lifecycle ops are sprinkled in.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Admit { t: usize },
+    Access { t: usize, addr: u64, write: bool },
+    Resize { t: usize, target: usize },
+    Evict { t: usize },
+    Revoke { t: usize },
+}
+
+fn decode(selector: u64, payload: u64) -> Op {
+    let t = (payload % TENANTS as u64) as usize;
+    match selector % 16 {
+        11 => Op::Admit { t },
+        12 => Op::Resize {
+            t,
+            target: ((payload >> 8) % 8 + 1) as usize,
+        },
+        13 => Op::Evict { t },
+        14 | 15 => Op::Revoke { t },
+        _ => Op::Access {
+            t,
+            // A handful of hot lines per tenant plus a streaming tail.
+            addr: if payload.is_multiple_of(4) {
+                (t as u64 + 1) * 4096 + (payload >> 4) % 4 * 64
+            } else {
+                (payload >> 4) % 256 * 64
+            },
+            write: payload.is_multiple_of(5),
+        },
+    }
+}
+
+fn asid(t: usize) -> Asid {
+    Asid::new(t as u16 + 1)
+}
+
+fn request(t: usize, addr: u64, write: bool) -> Request {
+    Request {
+        asid: asid(t),
+        addr: Address::new(addr),
+        kind: if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+    }
+}
+
+/// Tenant bookkeeping on the service side: the live handle if admitted,
+/// plus the last revoked handle (which must keep failing forever).
+#[derive(Default)]
+struct Tenant {
+    live: Option<TenantHandle>,
+    stale: Option<TenantHandle>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The single-shard service is observationally identical to a bare
+    /// cache: every access outcome, every lifecycle return value and
+    /// the end-of-run statistics all agree.
+    #[test]
+    fn single_shard_service_is_a_transparent_wrapper(
+        ops in proptest::collection::vec(
+            (proptest::num::u64::ANY, proptest::num::u64::ANY), 50..400),
+    ) {
+        let service = CacheService::new(1, |_| MolecularCache::new(torture_config()));
+        let mut plain = MolecularCache::new(torture_config());
+        let mut tenants: Vec<Tenant> = (0..TENANTS).map(|_| Tenant::default()).collect();
+
+        for &(sel, payload) in &ops {
+            match decode(sel, payload) {
+                Op::Admit { t } => {
+                    if tenants[t].live.is_some() {
+                        prop_assert_eq!(
+                            service.admit(asid(t)).err(),
+                            Some(ServeError::AlreadyAdmitted(asid(t)))
+                        );
+                        prop_assert!(!plain.admit_app(asid(t)), "no-op on the plain side");
+                    } else {
+                        let handle = service.admit(asid(t)).unwrap();
+                        tenants[t].live = Some(handle);
+                        prop_assert!(plain.admit_app(asid(t)));
+                    }
+                }
+                Op::Access { t, addr, write } => {
+                    let req = request(t, addr, write);
+                    if let Some(handle) = tenants[t].live {
+                        let got = service.access(&handle, req).unwrap();
+                        let want = plain.access(req);
+                        prop_assert_eq!(got, want, "access outcomes diverged");
+                    } else if let Some(stale) = tenants[t].stale {
+                        // Revoked handles fail forever; the plain cache
+                        // is not touched, keeping the models aligned.
+                        prop_assert_eq!(
+                            service.access(&stale, req).err(),
+                            Some(ServeError::Revoked(asid(t)))
+                        );
+                    }
+                }
+                Op::Resize { t, target } => {
+                    if let Some(handle) = tenants[t].live {
+                        let got = service.resize(&handle, target).unwrap();
+                        let want = plain.set_region_size(asid(t), target).unwrap();
+                        prop_assert_eq!(got, want, "resize results diverged");
+                    }
+                }
+                Op::Evict { t } => {
+                    if let Some(handle) = tenants[t].live {
+                        let got = service.evict(&handle).unwrap();
+                        let want = plain.flush_region(asid(t)).unwrap();
+                        prop_assert_eq!(got, want, "evict writeback counts diverged");
+                    }
+                }
+                Op::Revoke { t } => {
+                    if let Some(handle) = tenants[t].live.take() {
+                        let got = service.revoke(&handle).unwrap();
+                        let want = plain.release_region(asid(t)).unwrap();
+                        prop_assert_eq!(got, want, "released molecule counts diverged");
+                        tenants[t].stale = Some(handle);
+                        // The moment revoke returns, the handle is dead.
+                        prop_assert!(service
+                            .access(&handle, request(t, 0, false))
+                            .is_err());
+                    }
+                }
+            }
+        }
+
+        // End-of-run equivalence: per-tenant statistics and the whole
+        // shard cache state agree with the bare cache.
+        for (t, tenant) in tenants.iter().enumerate() {
+            if let Some(handle) = tenant.live {
+                let got = service.tenant_stats(&handle).unwrap();
+                let want = plain.stats().app(asid(t));
+                prop_assert_eq!(got, want, "per-tenant stats diverged for tenant {}", t);
+            }
+        }
+        let (stats, free, snapshots) =
+            service.with_shard(0, |c| (c.stats().clone(), c.free_molecules(), c.snapshots()));
+        prop_assert_eq!(&stats, plain.stats());
+        prop_assert_eq!(free, plain.free_molecules());
+        prop_assert_eq!(snapshots, plain.snapshots());
+    }
+
+    /// Stronger form of the revocation guarantee over arbitrary
+    /// interleavings: after any `revoke`, every access through any
+    /// handle issued for that tenancy fails with `Revoked` until (and
+    /// unless) the tenant is admitted again — and a handle from a
+    /// previous tenancy never works again even then.
+    #[test]
+    fn no_access_ever_succeeds_through_a_revoked_handle(
+        ops in proptest::collection::vec(
+            (proptest::num::u64::ANY, proptest::num::u64::ANY), 30..200),
+    ) {
+        let service = CacheService::new(1, |_| MolecularCache::new(torture_config()));
+        let mut live: Vec<Option<TenantHandle>> = vec![None; TENANTS];
+        let mut graveyard: Vec<TenantHandle> = Vec::new();
+
+        for &(sel, payload) in &ops {
+            match decode(sel, payload) {
+                Op::Admit { t } => {
+                    if live[t].is_none() {
+                        live[t] = Some(service.admit(asid(t)).unwrap());
+                    }
+                }
+                Op::Access { t, addr, write } => {
+                    if let Some(handle) = live[t] {
+                        service.access(&handle, request(t, addr, write)).unwrap();
+                    }
+                }
+                Op::Resize { t, target } => {
+                    if let Some(handle) = live[t] {
+                        service.resize(&handle, target).unwrap();
+                    }
+                }
+                Op::Evict { t } => {
+                    if let Some(handle) = live[t] {
+                        service.evict(&handle).unwrap();
+                    }
+                }
+                Op::Revoke { t } => {
+                    if let Some(handle) = live[t].take() {
+                        service.revoke(&handle).unwrap();
+                        graveyard.push(handle);
+                    }
+                }
+            }
+            // Every dead handle stays dead, whatever else happened.
+            for dead in &graveyard {
+                let t = dead.asid().raw() as usize - 1;
+                prop_assert_eq!(
+                    service.access(dead, request(t, 64, false)).err(),
+                    Some(ServeError::Revoked(dead.asid()))
+                );
+            }
+        }
+    }
+}

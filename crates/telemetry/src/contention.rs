@@ -1,0 +1,118 @@
+//! Per-shard contention counters for the multi-tenant serving layer.
+//!
+//! `molcache-serve` guards each cluster shard with a mutex; these are
+//! the plain-data records its atomic counters collapse into when a
+//! replay finishes, kept here so renderers (`molstat --serve`) can
+//! consume them without depending on the serving crate's concurrency
+//! machinery. All fields are totals over one replay.
+
+/// Contention observed on one cluster shard's lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardContention {
+    /// Shard index.
+    pub shard: usize,
+    /// Lock acquisitions (one per access batch / lifecycle call).
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to wait.
+    pub contended: u64,
+    /// Nanoseconds spent waiting on contended acquisitions.
+    pub lock_wait_ns: u64,
+    /// Largest number of threads simultaneously waiting plus holding —
+    /// the shard's worst-case queue depth.
+    pub max_queue_depth: u64,
+    /// Accesses serviced through this shard.
+    pub accesses: u64,
+    /// Hits among them.
+    pub hits: u64,
+}
+
+impl ShardContention {
+    /// Fraction of acquisitions that had to wait (0.0 when idle).
+    pub fn contention_rate(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+
+    /// Hit rate of the traffic this shard serviced (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Cross-shard load imbalance: the busiest shard's access count over
+/// the mean access count, so 1.0 is perfectly balanced and `N` means
+/// one shard of `N` carried everything. Returns 0.0 when no shard saw
+/// traffic (an idle service is not "balanced", it is unmeasured).
+pub fn imbalance(shards: &[ShardContention]) -> f64 {
+    if shards.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = shards.iter().map(|s| s.accesses).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / shards.len() as f64;
+    let max = shards.iter().map(|s| s.accesses).max().unwrap_or(0);
+    max as f64 / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: usize, accesses: u64, hits: u64) -> ShardContention {
+        ShardContention {
+            shard: i,
+            accesses,
+            hits,
+            ..ShardContention::default()
+        }
+    }
+
+    #[test]
+    fn rates_handle_idle_shards() {
+        let idle = ShardContention::default();
+        assert_eq!(idle.contention_rate(), 0.0);
+        assert_eq!(idle.hit_rate(), 0.0);
+        let busy = ShardContention {
+            acquisitions: 10,
+            contended: 4,
+            accesses: 100,
+            hits: 25,
+            ..ShardContention::default()
+        };
+        assert!((busy.contention_rate() - 0.4).abs() < 1e-12);
+        assert!((busy.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_even_load_is_one() {
+        let shards = [shard(0, 100, 10), shard(1, 100, 20)];
+        assert!((imbalance(&shards) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_skewed_load_scales_with_shards() {
+        // One of four shards carries all traffic: imbalance 4.0.
+        let shards = [
+            shard(0, 400, 0),
+            shard(1, 0, 0),
+            shard(2, 0, 0),
+            shard(3, 0, 0),
+        ];
+        assert!((imbalance(&shards) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_of_idle_or_empty_is_zero() {
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[shard(0, 0, 0), shard(1, 0, 0)]), 0.0);
+    }
+}

@@ -27,11 +27,13 @@
 //! telemetry-agnostic (the [`SinkHandle`] implements `sim`'s
 //! `AccessObserver` hook instead).
 
+pub mod contention;
 pub mod event;
 pub mod hist;
 pub mod recorder;
 pub mod sink;
 
+pub use contention::{imbalance, ShardContention};
 pub use event::{EpochActivity, EpochSample, Event, ResizeKind, ResizeRecord};
 pub use hist::LatencyHistogram;
 pub use recorder::{runs_to_json, runs_to_value, Recorder};

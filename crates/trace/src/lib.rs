@@ -46,6 +46,7 @@ pub mod interleave;
 pub mod presets;
 pub mod rng;
 pub mod stats;
+pub mod tenants;
 
 pub use access::{AccessKind, MemAccess};
 pub use addr::{Address, Asid, LineAddr};
