@@ -378,29 +378,49 @@ pub struct FloorViolation {
     pub current_aps: Option<f64>,
 }
 
-/// The memo-on-vs-memo-off CI gate: every workload of `floor` whose name
-/// starts with `prefix` must be at least as fast in `current`. Used with
-/// `floor` = the memo-off record and `current` = the memo-on record, so
-/// the memoization front-end can never silently become a pessimization
-/// on the single-stream workloads it exists to accelerate. A workload
-/// missing from `current` is a violation; zero-throughput floor entries
-/// cannot be fallen below.
-pub fn floor_check(floor: &BenchDoc, current: &BenchDoc, prefix: &str) -> Vec<FloorViolation> {
+/// The strict-win CI gate: every workload of `floor` whose name starts
+/// with any of `prefixes` must be at least as fast in `current`, up to
+/// a small `tolerance` (fraction of the floor throughput) absorbing
+/// shared-host measurement noise. Used with `floor` = the
+/// previous-build record and `current` = the optimized one — memo-on
+/// vs memo-off since PR 7, and since the miss-path overhaul also the
+/// miss-heavy workloads (`single:*` plus `miss_storm`), so neither the
+/// memoization front-end nor the cached search lists can silently
+/// become a pessimization on the paths they exist to accelerate.
+///
+/// The tolerance exists because the miss-path overhaul itself shrank
+/// the margins it gates: with the miss pipeline ~5× faster, memo-on vs
+/// memo-off is a tie in expectation on miss-dominated workloads
+/// (`single:crc`, `miss_storm`), and same-job run-to-run noise on the
+/// shared bimodally-throttled hosts swings best-of-N by ±5–10 %. A
+/// literally strict floor would fail at random on a tie; the allowance
+/// keeps the gate deterministic while still catching any structural
+/// pessimization (pre-overhaul, breaking these paths cost 5×, not
+/// 10 %). A workload missing from `current` is a violation;
+/// zero-throughput floor entries cannot be fallen below.
+pub fn floor_check(
+    floor: &BenchDoc,
+    current: &BenchDoc,
+    prefixes: &[&str],
+    tolerance: f64,
+) -> Vec<FloorViolation> {
     floor
         .workloads
         .iter()
-        .filter(|w| w.name.starts_with(prefix))
+        .filter(|w| prefixes.iter().any(|p| w.name.starts_with(p)))
         .filter_map(|base| match current.workload(&base.name) {
             None => Some(FloorViolation {
                 name: base.name.clone(),
                 floor_aps: base.accesses_per_sec,
                 current_aps: None,
             }),
-            Some(cur) if cur.accesses_per_sec < base.accesses_per_sec => Some(FloorViolation {
-                name: base.name.clone(),
-                floor_aps: base.accesses_per_sec,
-                current_aps: Some(cur.accesses_per_sec),
-            }),
+            Some(cur) if cur.accesses_per_sec < base.accesses_per_sec * (1.0 - tolerance) => {
+                Some(FloorViolation {
+                    name: base.name.clone(),
+                    floor_aps: base.accesses_per_sec,
+                    current_aps: Some(cur.accesses_per_sec),
+                })
+            }
             Some(_) => None,
         })
         .collect()

@@ -102,6 +102,46 @@ pub fn measure<F: FnMut()>(max_samples: usize, budget: Duration, f: &mut F) -> T
     Timing { samples_ns }
 }
 
+/// Paired variant of [`measure`] for A/B floor gates on hosts whose
+/// clock frequency drifts between slow modes: warms both closures up,
+/// then alternates single timed samples of `a` and `b` so the two
+/// sides see the same host conditions sample for sample — cross-run
+/// A/B comparisons on such hosts swing by ±15 %-class, which is
+/// exactly the drift the interleaving cancels. `budget` bounds the
+/// combined timed work; each side always gets at least one sample and
+/// both always end with equally many.
+pub fn measure_paired<A: FnMut(), B: FnMut()>(
+    max_samples: usize,
+    budget: Duration,
+    a: &mut A,
+    b: &mut B,
+) -> (Timing, Timing) {
+    a(); // Warm-up iterations, excluded from timing.
+    b();
+    let max_samples = max_samples.max(1);
+    let budget = budget.as_nanos();
+    let (mut sa, mut sb) = (Vec::new(), Vec::new());
+    let mut total: u128 = 0;
+    loop {
+        let start = Instant::now();
+        a();
+        let ns = start.elapsed().as_nanos();
+        total += ns;
+        sa.push(u64::try_from(ns).unwrap_or(u64::MAX));
+
+        let start = Instant::now();
+        b();
+        let ns = start.elapsed().as_nanos();
+        total += ns;
+        sb.push(u64::try_from(ns).unwrap_or(u64::MAX));
+
+        if sa.len() >= max_samples || total >= budget {
+            break;
+        }
+    }
+    (Timing::from_samples(sa), Timing::from_samples(sb))
+}
+
 /// One machine-readable result line, shared by the `benches/` targets
 /// and `molbench`:
 ///
@@ -227,6 +267,24 @@ mod tests {
         assert_eq!(Timing::default().median_ns(), 0.0);
         assert_eq!(Timing::default().mean_ns(), 0.0);
         assert_eq!(Timing::default().min_ns(), 0);
+    }
+
+    #[test]
+    fn measure_paired_alternates_and_balances_samples() {
+        let (mut na, mut nb) = (0u32, 0u32);
+        let (ta, tb) = measure_paired(4, Duration::from_secs(3600), &mut || na += 1, &mut || {
+            nb += 1
+        });
+        // One warm-up each plus exactly max_samples timed iterations.
+        assert_eq!(na, 5);
+        assert_eq!(nb, 5);
+        assert_eq!(ta.count(), 4);
+        assert_eq!(tb.count(), 4);
+
+        // A zero budget still takes one interleaved sample per side.
+        let (ta, tb) = measure_paired(64, Duration::ZERO, &mut || {}, &mut || {});
+        assert_eq!(ta.count(), 1);
+        assert_eq!(tb.count(), 1);
     }
 
     #[test]

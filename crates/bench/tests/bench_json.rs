@@ -259,39 +259,90 @@ fn molbench_routes_scale_warning_to_stderr() {
 }
 
 #[test]
-fn floor_check_gates_single_stream_workloads_only() {
+fn floor_check_gates_prefixed_workloads_only() {
+    const PREFIXES: &[&str] = &["single:", "miss_storm"];
     let floor = doc_with(vec![
         workload("single:ammp", 100.0),
         workload("single:mcf", 200.0),
+        workload("miss_storm", 500.0),
         workload("mixed12", 1000.0),
     ]);
 
-    // Faster or equal on every single:* workload: clean, even though the
+    // Faster or equal on every gated workload: clean, even though the
     // non-prefixed mixed12 got slower.
     let good = doc_with(vec![
         workload("single:ammp", 100.0),
         workload("single:mcf", 250.0),
+        workload("miss_storm", 500.0),
         workload("mixed12", 1.0),
     ]);
-    assert!(floor_check(&floor, &good, "single:").is_empty());
+    assert!(floor_check(&floor, &good, PREFIXES, 0.0).is_empty());
 
-    // Slower on one single:* workload: exactly that one is reported.
+    // Slower on one gated workload of each family: both are reported
+    // under a zero-tolerance gate.
     let slow = doc_with(vec![
         workload("single:ammp", 99.9),
         workload("single:mcf", 250.0),
+        workload("miss_storm", 499.0),
         workload("mixed12", 1000.0),
     ]);
-    let violations = floor_check(&floor, &slow, "single:");
-    assert_eq!(violations.len(), 1);
+    let violations = floor_check(&floor, &slow, PREFIXES, 0.0);
+    assert_eq!(violations.len(), 2);
     assert_eq!(violations[0].name, "single:ammp");
     assert_eq!(violations[0].floor_aps, 100.0);
     assert_eq!(violations[0].current_aps, Some(99.9));
+    assert_eq!(violations[1].name, "miss_storm");
+    assert_eq!(violations[1].current_aps, Some(499.0));
 
-    // A single:* workload missing from the current run is a violation.
-    let missing = doc_with(vec![workload("single:ammp", 100.0)]);
-    let violations = floor_check(&floor, &missing, "single:");
+    // A gated workload missing from the current run is a violation.
+    let missing = doc_with(vec![
+        workload("single:ammp", 100.0),
+        workload("miss_storm", 500.0),
+    ]);
+    let violations = floor_check(&floor, &missing, PREFIXES, 0.0);
     assert_eq!(violations.len(), 1);
     assert_eq!(violations[0].name, "single:mcf");
+    assert_eq!(violations[0].current_aps, None);
+
+    // A single-family prefix list leaves the other family ungated.
+    let violations = floor_check(&floor, &slow, &["miss_storm"], 0.0);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].name, "miss_storm");
+}
+
+#[test]
+fn floor_check_tolerance_absorbs_noise_but_not_regressions() {
+    const PREFIXES: &[&str] = &["single:", "miss_storm"];
+    let floor = doc_with(vec![
+        workload("single:crc", 1000.0),
+        workload("miss_storm", 500.0),
+    ]);
+
+    // Shortfalls inside the allowance are ties, not violations — the
+    // exact boundary (floor * (1 - tol)) still passes.
+    let tied = doc_with(vec![
+        workload("single:crc", 901.0),
+        workload("miss_storm", 450.0),
+    ]);
+    assert!(floor_check(&floor, &tied, PREFIXES, 0.10).is_empty());
+
+    // Past the allowance, the violation reports the raw throughputs
+    // (not tolerance-adjusted ones).
+    let slow = doc_with(vec![
+        workload("single:crc", 899.9),
+        workload("miss_storm", 450.0),
+    ]);
+    let violations = floor_check(&floor, &slow, PREFIXES, 0.10);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].name, "single:crc");
+    assert_eq!(violations[0].floor_aps, 1000.0);
+    assert_eq!(violations[0].current_aps, Some(899.9));
+
+    // A missing workload is a violation at any tolerance.
+    let missing = doc_with(vec![workload("single:crc", 1000.0)]);
+    let violations = floor_check(&floor, &missing, PREFIXES, 0.10);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].name, "miss_storm");
     assert_eq!(violations[0].current_aps, None);
 }
 
@@ -310,6 +361,7 @@ fn checked_in_baseline_parses_against_current_schema() {
         "single:mcf",
         "single:crc",
         "single:parser",
+        "miss_storm",
         "mixed12",
         "access_batch",
         "engine_sweep_x4",

@@ -17,7 +17,7 @@ use crate::region::Region;
 use crate::region_table::RegionTable;
 use crate::resize::{ResizeController, ResizeEvent};
 use crate::stats::RegionSnapshot;
-use crate::tags::TagStore;
+use crate::tags::{GateMask, TagStore};
 use crate::tile::{Tile, TileCluster};
 use molcache_sim::{
     AccessOutcome, Activity, BatchOutcome, CacheModel, CacheStats, Request, StageBreakdown,
@@ -58,9 +58,18 @@ pub struct MolecularCache {
     pub(crate) epoch_index: u64,
     pub(crate) epoch_stats_base: CacheStats,
     pub(crate) epoch_activity_base: Activity,
-    /// Scratch list the ASID gate hands to the tag-probe stage (reused
-    /// across accesses to keep the gate allocation-free).
-    pub(crate) gate_matches: Vec<MoleculeId>,
+    /// Scratch match bitmask the ASID gate hands to the tag-probe stage
+    /// (reused across accesses to keep the gate allocation-free).
+    pub(crate) gate: GateMask,
+    /// Structural-topology generation: bumped by
+    /// [`note_structural_change`](Self::note_structural_change) on every
+    /// grant/shrink/release/re-home/shared-bit/flush event. Regions stamp
+    /// their cached Ulmo search lists with it; a stale stamp forces a
+    /// lazy rebuild. Starts at 1 so a 0 stamp always reads as stale.
+    pub(crate) structure_generation: u64,
+    /// Runtime toggle for the cached Ulmo search lists (off = rebuild
+    /// the list on every launched search, the pre-cache behaviour).
+    pub(crate) search_cache_enabled: bool,
     /// Wall-time stage sampler (only with the `stage-profiler` feature;
     /// default builds carry no sampler state at all).
     #[cfg(feature = "stage-profiler")]
@@ -129,7 +138,9 @@ impl MolecularCache {
             epoch_index: 0,
             epoch_stats_base: CacheStats::new(),
             epoch_activity_base: Activity::default(),
-            gate_matches: Vec::with_capacity(tile_molecules),
+            gate: GateMask::with_capacity(tile_molecules),
+            structure_generation: 1,
+            search_cache_enabled: true,
             #[cfg(feature = "stage-profiler")]
             sampler: crate::profiler::StageSampler::default(),
             #[cfg(feature = "memo-front")]
@@ -146,6 +157,20 @@ impl MolecularCache {
     pub(crate) fn configure_molecule(&mut self, id: MoleculeId, asid: Asid) -> u64 {
         self.molecules[id.index()].reset_window_counters();
         self.tags.configure(id, asid)
+    }
+
+    /// Records a structural change to the cache topology — any
+    /// grant/shrink/release/re-home/shared-bit/flush event. One bump
+    /// lazily invalidates every region's cached Ulmo search list (their
+    /// generation stamps stop matching) and drops the memoization
+    /// front-end's entries the same way. The runtime memo toggle
+    /// ([`set_memo_front`](Self::set_memo_front)) is *not* structural:
+    /// it bumps only the memo's own generation.
+    #[inline]
+    pub(crate) fn note_structural_change(&mut self) {
+        self.structure_generation += 1;
+        #[cfg(feature = "memo-front")]
+        self.memo.bump_generation();
     }
 
     /// Enables the sampling wall-time stage profiler: every
@@ -269,7 +294,7 @@ impl MolecularCache {
     /// released, or `None` if the application had no region.
     pub fn release_region(&mut self, asid: Asid) -> Option<usize> {
         let mut region = self.regions.remove(&asid)?;
-        self.memo_invalidate();
+        self.note_structural_change();
         let ids = region.drain_molecules();
         let released = ids.len();
         for id in ids {
@@ -303,7 +328,7 @@ impl MolecularCache {
             return false;
         }
         region.set_home_tile(tid);
-        self.memo_invalidate();
+        self.note_structural_change();
         true
     }
 
@@ -312,7 +337,7 @@ impl MolecularCache {
     /// molecule visible to every application on the tile). Returns how
     /// many were marked.
     pub fn make_shared(&mut self, tile_index: usize, n: usize) -> usize {
-        self.memo_invalidate();
+        self.note_structural_change();
         let mut granted = 0;
         for _ in 0..n {
             let Some(id) = self.tiles[tile_index].take_free() else {
@@ -515,10 +540,9 @@ impl MolecularCache {
         // Miss: stage 4 — victim selection, stage 5 — block fill.
         latency += self.cfg.miss_penalty;
         stages.fill.cycles = self.cfg.miss_penalty;
-        self.regions
-            .get_mut(&asid)
-            .expect("region")
-            .record_access(true);
+        let region = self.regions.get_mut(&asid).expect("region");
+        region.record_access(true);
+        let lines_fetched = region.line_factor();
         let Some(victim) = timed_stage!(self, sampled, 3, self.victim_select(asid, req.addr, home))
         else {
             // No region molecules and no shared fallback: the request
@@ -546,7 +570,7 @@ impl MolecularCache {
             hit: false,
             latency,
             writeback,
-            lines_fetched: self.regions[&asid].line_factor(),
+            lines_fetched,
             stages: Some(stages),
         }
     }

@@ -66,6 +66,7 @@ pub mod profiler;
 pub mod region;
 pub mod region_table;
 pub mod resize;
+mod search_list;
 pub mod stats;
 pub mod tags;
 pub mod tile;

@@ -14,7 +14,6 @@
 //! [`shrink_region`]: MolecularCache::shrink_region
 
 use crate::cache::MolecularCache;
-use crate::ids::MoleculeId;
 use molcache_trace::Asid;
 
 // The serve layer shards caches across OS threads behind per-shard
@@ -68,12 +67,17 @@ impl MolecularCache {
         }
         // Flushing invalidates every resident line: drop all memoized
         // locations before any of them could be replayed as a hit.
-        self.memo_invalidate();
-        let ids: Vec<MoleculeId> = self.regions[&asid].molecules().collect();
+        self.note_structural_change();
+        // Disjoint field borrows: membership is read from the region
+        // while molecule counters and tags mutate — no collected id
+        // list. Reconfiguring to the same owner is a flush in place.
+        let region = &self.regions[&asid];
+        let molecules = &mut self.molecules;
+        let tags = &mut self.tags;
         let mut flushed = 0;
-        for id in ids {
-            // Reconfiguring to the same owner is a flush in place.
-            flushed += self.configure_molecule(id, asid);
+        for id in region.molecules() {
+            molecules[id.index()].reset_window_counters();
+            flushed += tags.configure(id, asid);
         }
         self.activity.writebacks += flushed;
         Some(flushed)
@@ -115,7 +119,7 @@ impl MolecularCache {
             return 0;
         };
         // Membership is about to change: structural event, memo drop.
-        self.memo_invalidate();
+        self.note_structural_change();
         let mut removed = 0;
         for _ in 0..n {
             let Some(id) = region.remove_coldest(|m| self.molecules[m.index()].miss_count()) else {

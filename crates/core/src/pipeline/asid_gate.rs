@@ -16,18 +16,18 @@ impl MolecularCache {
     /// Runs the ASID gate over `tile`'s molecules for `asid`.
     ///
     /// Charges one ASID compare per molecule of the tile to `trace` and
-    /// leaves the matching molecule ids in the reusable `gate_matches`
-    /// scratch list (cleared first), in tile order, for the tag-probe
-    /// stage to consume.
+    /// leaves the match bitmask in the reusable `gate` scratch
+    /// [`GateMask`](crate::tags::GateMask) (cleared and refilled) for
+    /// the tag-probe stage to walk in tile order.
     pub(crate) fn asid_gate(&mut self, tile: TileId, asid: Asid, trace: &mut StageTrace) {
         let tile = &self.tiles[tile.index()];
         let capacity = tile.capacity();
         trace.asid_compares += capacity as u32;
-        self.gate_matches.clear();
-        // The tile's gate state is one dense slice of the flat arrays
-        // (molecule ids are tile-contiguous), so the hardware's parallel
-        // compare is modeled by a single linear scan.
+        // The tile's gate state is a dense lane range of the packed
+        // ASID words (molecule ids are tile-contiguous), so the
+        // hardware's parallel compare is modeled by the SWAR kernel:
+        // four molecules per word, matches out as a bitmask.
         self.tags
-            .gate_scan(tile.molecule_base(), capacity, asid, &mut self.gate_matches);
+            .gate_scan(tile.molecule_base(), capacity, asid, &mut self.gate);
     }
 }

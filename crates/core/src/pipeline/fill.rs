@@ -22,6 +22,21 @@ impl MolecularCache {
     /// Fills the `line_factor`-line block containing `line` into the
     /// victim molecule. Each line landed counts one frame touched on
     /// `trace`. Returns whether any writeback occurred.
+    ///
+    /// The no-duplicate invalidation scan over the region's members is
+    /// skipped for the requested line itself: by the time this stage
+    /// runs, no member molecule can hold it. Every member sits either on
+    /// the home tile — where the ASID gate matched it and the probe
+    /// stage checked it — or on a tile of Ulmo's search list (the list
+    /// covers exactly the tiles holding members), where the cross-tile
+    /// search gated and probed it; had any held the line, the access
+    /// would have hit and never reached fill. Shared molecules were
+    /// never part of this scan (it walks region members only), and no
+    /// structural change can intervene between lookup and fill within
+    /// one access, so the skip is exact. With the default
+    /// `line_factor == 1` the entire per-miss member walk disappears;
+    /// for `k > 1` the other block lines still scan, in the same member
+    /// order as before.
     pub(crate) fn fill_block(
         &mut self,
         region_asid: Asid,
@@ -30,31 +45,37 @@ impl MolecularCache {
         is_write: bool,
         trace: &mut StageTrace,
     ) -> bool {
-        let k = self.regions[&region_asid].line_factor() as u64;
+        // Disjoint field borrows: membership is read straight from the
+        // region while tags/activity mutate — no collected id list.
+        let region = &self.regions[&region_asid];
+        let tags = &mut self.tags;
+        let activity = &mut self.activity;
+        let k = region.line_factor() as u64;
         let block_start = LineAddr(line.0 - line.0 % k);
-        let member_ids: Vec<MoleculeId> = self.regions[&region_asid].molecules().collect();
         let mut writeback = false;
         for j in 0..k {
             let l = LineAddr(block_start.0 + j);
-            // Invalidate stale copies elsewhere in the region so that a
-            // block fill never duplicates a line.
-            for id in &member_ids {
-                if *id != victim {
-                    if let Some(dirty) = self.tags.invalidate(*id, l) {
-                        writeback |= dirty;
-                        if dirty {
-                            self.activity.writebacks += 1;
+            if l != line {
+                // Invalidate stale copies elsewhere in the region so
+                // that a block fill never duplicates a line.
+                for id in region.molecules() {
+                    if id != victim {
+                        if let Some(dirty) = tags.invalidate(id, l) {
+                            writeback |= dirty;
+                            if dirty {
+                                activity.writebacks += 1;
+                            }
                         }
                     }
                 }
             }
             let dirty_fill = is_write && l == line;
-            let evicted_dirty = self.tags.fill(victim, l, dirty_fill);
+            let evicted_dirty = tags.fill(victim, l, dirty_fill);
             if evicted_dirty {
-                self.activity.writebacks += 1;
+                activity.writebacks += 1;
             }
             writeback |= evicted_dirty;
-            self.activity.line_fills += 1;
+            activity.line_fills += 1;
             trace.frames_touched += 1;
         }
         writeback

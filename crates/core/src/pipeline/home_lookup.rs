@@ -12,31 +12,36 @@ use molcache_sim::StageTrace;
 use molcache_trace::LineAddr;
 
 impl MolecularCache {
-    /// Probes the gated molecules (left in `gate_matches` by the ASID
-    /// gate) for `line`, charging one tag probe per gated molecule to
-    /// `trace`. On a hit the molecule's line state is updated (touch or
-    /// mark-dirty) and its id returned.
+    /// Probes the gated molecules (the bitmask left in `gate` by the
+    /// ASID gate) for `line`, charging one tag probe per gated molecule
+    /// to `trace`. On a hit the molecule's line state is updated (touch
+    /// or mark-dirty) and its id returned.
+    ///
+    /// All gated molecules burn probe energy in the hardware's parallel
+    /// lookup whether or not one hits, so the probe count is charged up
+    /// front from the mask's popcount; the bit walk itself can then
+    /// return on the first hit (a line is resident in at most one
+    /// molecule, so no later bit could also hit).
     pub(crate) fn probe_gated(
         &mut self,
         line: LineAddr,
         is_write: bool,
         trace: &mut StageTrace,
     ) -> Option<MoleculeId> {
-        let mut found = None;
-        for k in 0..self.gate_matches.len() {
-            let id = self.gate_matches[k];
-            trace.tag_probes += 1;
-            if found.is_some() {
-                // Remaining matching molecules still burn probe energy in
-                // the hardware's parallel lookup, but cannot also hit: a
-                // line is resident in at most one molecule.
-                continue;
-            }
-            if self.tags.probe(id, line, is_write) {
-                self.molecules[id.index()].record_hit();
-                found = Some(id);
+        trace.tag_probes += self.gate.count();
+        let base = self.gate.word_base();
+        for (wi, &word) in self.gate.words().iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let id = MoleculeId((((base + wi) << 2) + (bit >> 4)) as u32);
+                if self.tags.probe(id, line, is_write) {
+                    self.molecules[id.index()].record_hit();
+                    return Some(id);
+                }
             }
         }
-        found
+        None
     }
 }

@@ -310,14 +310,6 @@ impl MolecularCache {
         }
     }
 
-    /// Invalidates the whole memo on a structural change (generation
-    /// bump). No-op without the `memo-front` feature.
-    #[inline]
-    pub(crate) fn memo_invalidate(&mut self) {
-        #[cfg(feature = "memo-front")]
-        self.memo.bump_generation();
-    }
-
     /// Memoizes a home-tile hit for the next access to the same line.
     ///
     /// Shared-molecule hits are not memoized: a shared molecule's copy
@@ -329,7 +321,7 @@ impl MolecularCache {
     #[inline]
     pub(crate) fn memo_note_home_hit(&mut self, asid: Asid, line: LineAddr, hit_mol: MoleculeId) {
         if self.memo.enabled && !self.tags.is_shared(hit_mol) {
-            let gate_count = self.gate_matches.len() as u32;
+            let gate_count = self.gate.count();
             self.memo.insert(asid, line, hit_mol, gate_count);
         }
     }

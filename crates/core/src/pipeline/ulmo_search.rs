@@ -15,7 +15,10 @@ use molcache_trace::{Asid, LineAddr};
 
 impl MolecularCache {
     /// Remote tiles of the cluster holding molecules of this region
-    /// (Ulmo's search list), excluding the home tile.
+    /// (Ulmo's search list), excluding the home tile — derived fresh
+    /// from membership. The reference implementation the cached lists
+    /// of [`crate::search_list`] must agree with; the hot path uses the
+    /// cache, diagnostics and rebuild-equivalence tests use this.
     pub(crate) fn remote_tiles(&self, region: &Region) -> Vec<TileId> {
         let home = region.home_tile();
         let mut tiles: Vec<TileId> = region
@@ -36,6 +39,15 @@ impl MolecularCache {
     /// probes land in `trace`) until one hits. Returns the hit molecule,
     /// or `None` on a cache-wide miss or when no search was launched
     /// (distinguishable by `trace.cycles`).
+    ///
+    /// The search list comes from the region's cached [`TileList`]
+    /// (`crate::search_list`), rebuilt here only when its generation
+    /// stamp is stale — one membership walk per structural change
+    /// instead of one allocation + sort per miss. With the cache
+    /// disabled the stamp is pinned to the never-current 0, so every
+    /// launched search rebuilds (the pre-cache behaviour).
+    ///
+    /// [`TileList`]: crate::search_list::TileList
     pub(crate) fn ulmo_search(
         &mut self,
         asid: Asid,
@@ -43,16 +55,32 @@ impl MolecularCache {
         is_write: bool,
         trace: &mut StageTrace,
     ) -> Option<MoleculeId> {
-        let remote = {
-            let region = &self.regions[&asid];
-            self.remote_tiles(region)
+        let generation = if self.search_cache_enabled {
+            self.structure_generation
+        } else {
+            0
         };
-        if remote.is_empty() {
+        // Disjoint field borrows: membership is read from the region
+        // while the list inside the same region is rewritten — no
+        // intermediate collect needed.
+        let molecules = &self.molecules;
+        let region = self.regions.get_mut(&asid).expect("region");
+        if generation == 0 || region.search_generation() != generation {
+            region.rebuild_search_list(generation, |id| molecules[id.index()].tile());
+        }
+        let tiles = region.search_tiles().len();
+        if tiles == 0 {
             return None;
         }
         self.activity.ulmo_searches += 1;
         trace.cycles += self.cfg.ulmo_penalty;
-        for tile in remote {
+        for i in 0..tiles {
+            // Re-fetch through the dense region table each iteration:
+            // `asid_gate`/`probe_gated` need `&mut self`, so the list
+            // cannot stay borrowed across them. The table lookup is one
+            // array index, and the list cannot change mid-search (gating
+            // and probing are structurally read-only).
+            let tile = self.regions[&asid].search_tiles()[i];
             self.asid_gate(tile, asid, trace);
             if let Some(hit_mol) = self.probe_gated(line, is_write, trace) {
                 return Some(hit_mol);

@@ -190,17 +190,20 @@ impl MolecularCache {
         let region = self.regions.get_mut(&asid).expect("region");
         let victim = region.select_victim(addr, molecule_size, draw);
         victim.or_else(|| {
+            // Shared molecules occupy known positions of the packed
+            // shared-bit words (ids are tile-contiguous), so the
+            // fallback pool is counted and indexed straight off the
+            // bitmask — no collected candidate list. `nth_shared` walks
+            // ascending ids, the same order the old collect produced, so
+            // the LFSR draw picks the identical molecule.
             let tile = &self.tiles[home.index()];
-            let shared: Vec<MoleculeId> = tile
-                .molecules()
-                .iter()
-                .copied()
-                .filter(|id| self.tags.is_shared(*id))
-                .collect();
-            if shared.is_empty() {
+            let (base, cap) = (tile.molecule_base(), tile.capacity());
+            let n = self.tags.count_shared(base, cap);
+            if n == 0 {
                 None
             } else {
-                Some(shared[(self.lfsr.next_u16() as usize) % shared.len()])
+                let k = (self.lfsr.next_u16() as usize) % n;
+                Some(self.tags.nth_shared(base, cap, k))
             }
         })
     }

@@ -56,6 +56,11 @@ pub struct Region {
     lifetime_hits: u64,
     /// Last-hit clock per molecule (LRU-Direct replacement state).
     pub(crate) recency: std::collections::BTreeMap<MoleculeId, u64>,
+    // --- cached Ulmo search list (see `crate::search_list`) ---
+    /// Remote tiles holding member molecules, sorted ascending.
+    pub(crate) search_tiles: crate::search_list::TileList,
+    /// Structural generation the list was built under (0 = stale).
+    pub(crate) search_generation: u64,
 }
 
 impl Region {
@@ -88,6 +93,8 @@ impl Region {
             lifetime_accesses: 0,
             lifetime_hits: 0,
             recency: std::collections::BTreeMap::new(),
+            search_tiles: crate::search_list::TileList::default(),
+            search_generation: 0,
         }
     }
 

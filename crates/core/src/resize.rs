@@ -304,7 +304,7 @@ pub fn algorithm1(
 
 use crate::cache::MolecularCache;
 use crate::config::InitialAllocation;
-use crate::ids::{ClusterId, MoleculeId};
+use crate::ids::ClusterId;
 use crate::region::Region;
 use molcache_telemetry::ResizeKind;
 
@@ -372,7 +372,7 @@ impl MolecularCache {
         }
         // Any change to the region's membership (and even a failed grant
         // round) is a structural event: drop every memoized location.
-        self.memo_invalidate();
+        self.note_structural_change();
         granted
     }
 
@@ -419,9 +419,10 @@ impl MolecularCache {
             Decision::Hold => {}
         }
         // Close the window: store the observed miss rate, clear counters.
-        let member_ids: Vec<MoleculeId> = self.regions[&asid].molecules().collect();
-        for id in member_ids {
-            self.molecules[id.index()].reset_window_counters();
+        let region = &self.regions[&asid];
+        let molecules = &mut self.molecules;
+        for id in region.molecules() {
+            molecules[id.index()].reset_window_counters();
         }
         self.regions.get_mut(&asid).expect("present").close_window();
         window

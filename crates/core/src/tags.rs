@@ -10,16 +10,20 @@
 //! * [`TagStore::words`] — one packed `u64` per line frame: bit 63 =
 //!   valid, bit 62 = dirty, bits 0–61 = tag
 //!   (`line / frames_per_molecule`);
-//! * [`TagStore::asids`] / [`TagStore::shared`] — the per-molecule
-//!   ASID-gate state (§3.1), one flat slot per molecule.
+//! * `asid_lanes` / `shared_lanes` — the per-molecule ASID-gate state
+//!   (§3.1), packed four 16-bit ASID lanes per `u64` word, with the
+//!   shared bit stored as the top bit of the corresponding lane.
 //!
 //! Molecule ids are assigned tile-contiguously at construction, so a
-//! tile's gate state occupies one dense slice of `asids`/`shared` and a
-//! home-tile ASID gate is a single linear scan ([`TagStore::gate_scan`])
-//! — branch-predictable, prefetch-friendly and trivially
-//! SIMD-vectorizable, which is where the molbench `single:*` speedup of
-//! this layout comes from. [`crate::molecule::Molecule`] retains only
-//! placement identity and per-molecule hit/miss counters.
+//! tile's gate state occupies a dense lane range and the §3.1 ASID gate
+//! is a SWAR kernel ([`TagStore::gate_scan`]): each `u64` word compares
+//! four molecules' ASIDs against the requestor branchlessly (exact
+//! per-lane zero detection — no cross-lane borrows) and the matches come
+//! out as a bitmask ([`GateMask`]) the probe stage walks with
+//! `trailing_zeros`. No per-match pushes, no scratch `Vec`, and the
+//! whole gate of a 32-molecule tile is eight word operations.
+//! [`crate::molecule::Molecule`] retains only placement identity and
+//! per-molecule hit/miss counters.
 //!
 //! The packing steals the top two bits of the tag word, so tags must fit
 //! 62 bits: with the minimum 64-byte lines that caps the modeled
@@ -35,6 +39,109 @@ const VALID: u64 = 1 << 63;
 const DIRTY: u64 = 1 << 62;
 /// Bits 0–61 of a packed frame word: the stored tag.
 const TAG_MASK: u64 = (1 << 62) - 1;
+
+/// 16-bit ASID lanes per packed gate word.
+const LANES: usize = 4;
+/// log2([`LANES`]), for `molecule <-> (word, lane)` arithmetic.
+const LANE_SHIFT: usize = 2;
+/// The top bit of every lane — where per-lane results (and the shared
+/// bit) live.
+const LANE_HI: u64 = 0x8000_8000_8000_8000;
+/// The low 15 bits of every lane.
+const LANE_LO: u64 = 0x7FFF_7FFF_7FFF_7FFF;
+/// Broadcasts a 16-bit value into all four lanes when multiplied.
+const LANE_BCAST: u64 = 0x0001_0001_0001_0001;
+
+/// Exact per-lane zero detection: the top bit of each 16-bit lane of the
+/// result is set iff that lane of `y` is zero.
+///
+/// `(y & LANE_LO) + LANE_LO` sets a lane's top bit iff its low 15 bits
+/// are non-zero, and — unlike the classic `(y - 1) & !y` trick — cannot
+/// carry into the next lane (each lane sum is at most `0xFFFE`), so the
+/// answer is exact for *every* lane, not just the lowest zero.
+#[inline]
+fn zero_lanes(y: u64) -> u64 {
+    !(((y & LANE_LO).wrapping_add(LANE_LO)) | y) & LANE_HI
+}
+
+/// The ASID gate's match bitmask over one tile's molecules: one bit per
+/// molecule (at its lane's top-bit position), produced by
+/// [`TagStore::gate_scan`] and consumed by the tag-probe stage.
+///
+/// The mask is a reusable scratch buffer: `gate_scan` clears and refills
+/// it, and after warm-up the backing storage never reallocates, keeping
+/// the gate allocation-free in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct GateMask {
+    /// Index of the first packed gate word covered (`base / LANES`).
+    word_base: usize,
+    /// One match word per covered gate word; a set bit at lane `l` of
+    /// word `w` means molecule `(word_base + w) * LANES + l` matched.
+    words: Vec<u64>,
+    /// Total matches (popcount of `words`).
+    count: u32,
+}
+
+impl GateMask {
+    /// An empty mask with `capacity` molecules of backing storage
+    /// pre-reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        GateMask {
+            word_base: 0,
+            words: Vec::with_capacity(capacity.div_ceil(LANES) + 1),
+            count: 0,
+        }
+    }
+
+    /// Number of matching molecules.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Index of the first packed gate word the mask covers.
+    #[inline]
+    pub fn word_base(&self) -> usize {
+        self.word_base
+    }
+
+    /// The per-word match bits.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The matching molecule ids in ascending (= tile) order.
+    pub fn iter(&self) -> impl Iterator<Item = MoleculeId> + '_ {
+        let base = self.word_base;
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(MoleculeId(
+                    (((base + wi) << LANE_SHIFT) + (bit >> 4)) as u32,
+                ))
+            })
+        })
+    }
+}
+
+/// The packed-word range `[w0, w1]` covering molecules
+/// `[base, base + count)`, with the head/tail lane masks that cut the
+/// first and last word down to the in-range lanes (a tile's base need
+/// not be lane-aligned, and its capacity need not be a lane multiple).
+#[inline]
+fn lane_range(base: usize, count: usize) -> (usize, usize, u64, u64) {
+    debug_assert!(count > 0);
+    let last = base + count - 1;
+    let head = LANE_HI << ((base & (LANES - 1)) * 16);
+    let tail = LANE_HI >> ((LANES - 1 - (last & (LANES - 1))) * 16);
+    (base >> LANE_SHIFT, last >> LANE_SHIFT, head, tail)
+}
 
 /// The cache-global flat tag/state arrays (see the module docs).
 ///
@@ -54,12 +161,20 @@ const TAG_MASK: u64 = (1 << 62) - 1;
 pub struct TagStore {
     /// Line frames per molecule (uniform across the cache).
     frames_per_molecule: usize,
+    /// `log2(frames_per_molecule)` when it is a power of two (every
+    /// config the builder accepts has power-of-two molecule and line
+    /// sizes, so this is the universal case); `u32::MAX` selects the
+    /// generic div/mod path in [`slot`](Self::slot).
+    frame_shift: u32,
     /// Packed frame words, `molecule * frames_per_molecule + frame`.
     words: Vec<u64>,
-    /// Configured ASID per molecule ([`Asid::NONE`] when free).
-    asids: Vec<u16>,
-    /// Shared bit per molecule (§3.1: bypasses the ASID compare).
-    shared: Vec<bool>,
+    /// Configured ASIDs, four 16-bit lanes per word
+    /// ([`Asid::NONE`] = 0 when free).
+    asid_lanes: Vec<u64>,
+    /// Shared bits (§3.1: bypasses the ASID compare), one per molecule
+    /// at its lane's top-bit position — already in [`GateMask`] form, so
+    /// the gate ORs it straight into the match word.
+    shared_lanes: Vec<u64>,
 }
 
 impl TagStore {
@@ -72,11 +187,19 @@ impl TagStore {
     /// Panics if `frames_per_molecule == 0`.
     pub fn new(molecules: usize, frames_per_molecule: usize) -> Self {
         assert!(frames_per_molecule > 0, "molecule needs at least one frame");
+        let frame_shift = if frames_per_molecule.is_power_of_two() {
+            frames_per_molecule.trailing_zeros()
+        } else {
+            u32::MAX
+        };
         TagStore {
             frames_per_molecule,
+            frame_shift,
             words: vec![0; molecules * frames_per_molecule],
-            asids: vec![Asid::NONE.raw(); molecules],
-            shared: vec![false; molecules],
+            // Out-of-range lanes of the last word stay NONE/unshared
+            // forever and can never match a gate scan.
+            asid_lanes: vec![0; molecules.div_ceil(LANES)],
+            shared_lanes: vec![0; molecules.div_ceil(LANES)],
         }
     }
 
@@ -88,48 +211,139 @@ impl TagStore {
     /// The flat word index and packed tag bits of `line` in `mol`.
     #[inline]
     fn slot(&self, mol: MoleculeId, line: LineAddr) -> (usize, u64) {
-        let n = self.frames_per_molecule as u64;
-        let tag = line.0 / n;
+        let (tag, frame) = if self.frame_shift != u32::MAX {
+            (
+                line.0 >> self.frame_shift,
+                (line.0 & (self.frames_per_molecule as u64 - 1)) as usize,
+            )
+        } else {
+            let n = self.frames_per_molecule as u64;
+            (line.0 / n, (line.0 % n) as usize)
+        };
         debug_assert!(tag & !TAG_MASK == 0, "tag overflows the 62 packed bits");
-        let idx = mol.index() * self.frames_per_molecule + (line.0 % n) as usize;
-        (idx, tag)
+        (mol.index() * self.frames_per_molecule + frame, tag)
+    }
+
+    /// The raw 16-bit ASID lane of molecule `i`.
+    #[inline]
+    fn asid_raw(&self, i: usize) -> u16 {
+        (self.asid_lanes[i >> LANE_SHIFT] >> ((i & (LANES - 1)) * 16)) as u16
     }
 
     /// The configured ASID of a molecule ([`Asid::NONE`] when free).
     pub fn asid_of(&self, mol: MoleculeId) -> Asid {
-        Asid::new(self.asids[mol.index()])
+        Asid::new(self.asid_raw(mol.index()))
     }
 
     /// Whether a molecule's shared bit is set.
     pub fn is_shared(&self, mol: MoleculeId) -> bool {
-        self.shared[mol.index()]
+        let i = mol.index();
+        self.shared_lanes[i >> LANE_SHIFT] >> ((i & (LANES - 1)) * 16 + 15) & 1 != 0
     }
 
     /// Sets or clears a molecule's shared bit.
     pub fn set_shared(&mut self, mol: MoleculeId, shared: bool) {
-        self.shared[mol.index()] = shared;
+        let i = mol.index();
+        let bit = 1u64 << ((i & (LANES - 1)) * 16 + 15);
+        let w = &mut self.shared_lanes[i >> LANE_SHIFT];
+        *w = if shared { *w | bit } else { *w & !bit };
     }
 
     /// The ASID-match stage for one molecule (Figure 3: the shared bit
     /// forces a match).
     pub fn matches(&self, mol: MoleculeId, asid: Asid) -> bool {
-        let i = mol.index();
-        self.shared[i] || (self.asids[i] != Asid::NONE.raw() && self.asids[i] == asid.raw())
+        let a = self.asid_raw(mol.index());
+        self.is_shared(mol) || (a != Asid::NONE.raw() && a == asid.raw())
     }
 
     /// The §3.1 ASID gate over one tile's contiguous molecule slice:
-    /// appends the ids of the molecules in `[base, base + count)` that
-    /// match `asid`, in tile (= id) order, to `out`.
-    pub fn gate_scan(&self, base: usize, count: usize, asid: Asid, out: &mut Vec<MoleculeId>) {
-        let a = asid.raw();
-        let none = Asid::NONE.raw();
-        let asids = &self.asids[base..base + count];
-        let shared = &self.shared[base..base + count];
-        for k in 0..count {
-            if shared[k] || (asids[k] != none && asids[k] == a) {
-                out.push(MoleculeId((base + k) as u32));
-            }
+    /// fills `out` with the match bitmask of the molecules in
+    /// `[base, base + count)` that match `asid` (shared bit or ASID
+    /// equality).
+    ///
+    /// SWAR kernel: each packed word xors four ASID lanes against the
+    /// broadcast requestor, detects equal (= zero) lanes exactly, masks
+    /// equality off entirely for [`Asid::NONE`] requests (a free
+    /// molecule must never match one), ORs in the shared bits, and trims
+    /// the head/tail words to the in-range lanes.
+    pub fn gate_scan(&self, base: usize, count: usize, asid: Asid, out: &mut GateMask) {
+        out.words.clear();
+        out.word_base = base >> LANE_SHIFT;
+        out.count = 0;
+        if count == 0 {
+            return;
         }
+        let (w0, w1, head, tail) = lane_range(base, count);
+        let bcast = u64::from(asid.raw()).wrapping_mul(LANE_BCAST);
+        // All-or-nothing lane mask: NONE requests take no equality path.
+        let asid_ok = if asid == Asid::NONE { 0 } else { !0u64 };
+        let mut count = 0;
+        for w in w0..=w1 {
+            let eq = zero_lanes(self.asid_lanes[w] ^ bcast);
+            let mut m = (eq & asid_ok) | self.shared_lanes[w];
+            if w == w0 {
+                m &= head;
+            }
+            if w == w1 {
+                m &= tail;
+            }
+            out.words.push(m);
+            count += m.count_ones();
+        }
+        out.count = count;
+    }
+
+    /// Number of shared molecules in `[base, base + count)` (the victim
+    /// stage's shared-fallback pool; same SWAR word walk as the gate).
+    pub fn count_shared(&self, base: usize, count: usize) -> usize {
+        if count == 0 {
+            return 0;
+        }
+        let (w0, w1, head, tail) = lane_range(base, count);
+        let mut n = 0u32;
+        for w in w0..=w1 {
+            let mut m = self.shared_lanes[w];
+            if w == w0 {
+                m &= head;
+            }
+            if w == w1 {
+                m &= tail;
+            }
+            n += m.count_ones();
+        }
+        n as usize
+    }
+
+    /// The `k`-th (ascending id order) shared molecule in
+    /// `[base, base + count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `k + 1` molecules of the range are shared.
+    pub fn nth_shared(&self, base: usize, count: usize, k: usize) -> MoleculeId {
+        assert!(count > 0, "empty range holds no shared molecule");
+        let (w0, w1, head, tail) = lane_range(base, count);
+        let mut k = k as u32;
+        for w in w0..=w1 {
+            let mut m = self.shared_lanes[w];
+            if w == w0 {
+                m &= head;
+            }
+            if w == w1 {
+                m &= tail;
+            }
+            let ones = m.count_ones();
+            if k < ones {
+                // Drop the k lowest set bits, then read the next one.
+                for _ in 0..k {
+                    m &= m - 1;
+                }
+                let bit = m.trailing_zeros() as usize;
+                return MoleculeId(((w << LANE_SHIFT) + (bit >> 4)) as u32);
+            }
+            k -= ones;
+        }
+        panic!("range holds fewer shared molecules than requested");
     }
 
     /// Configures a molecule into a region (or frees it with
@@ -137,19 +351,20 @@ impl TagStore {
     /// observe the previous owner's data. Returns the number of dirty
     /// frames flushed.
     pub fn configure(&mut self, mol: MoleculeId, asid: Asid) -> u64 {
-        self.asids[mol.index()] = asid.raw();
+        let i = mol.index();
+        let sh = (i & (LANES - 1)) * 16;
+        let w = &mut self.asid_lanes[i >> LANE_SHIFT];
+        *w = (*w & !(0xFFFFu64 << sh)) | (u64::from(asid.raw()) << sh);
         self.invalidate_all(mol)
     }
 
     /// Invalidates every frame of a molecule; returns the number of
-    /// dirty frames (the writebacks this flush generates).
+    /// dirty frames (the writebacks this flush generates). Branchless:
+    /// valid+dirty is one shift-and per word.
     pub fn invalidate_all(&mut self, mol: MoleculeId) -> u64 {
         let base = mol.index() * self.frames_per_molecule;
         let frames = &mut self.words[base..base + self.frames_per_molecule];
-        let dirty = frames
-            .iter()
-            .filter(|&&w| w & (VALID | DIRTY) == VALID | DIRTY)
-            .count() as u64;
+        let dirty: u64 = frames.iter().map(|&w| (w >> 62) & (w >> 63) & 1).sum();
         frames.fill(0);
         dirty
     }
@@ -202,18 +417,21 @@ impl TagStore {
         }
     }
 
-    /// Number of valid frames of `mol` (diagnostics).
+    /// Number of valid frames of `mol` (diagnostics). Branchless
+    /// word-at-a-time valid-bit sum, like
+    /// [`invalidate_all`](Self::invalidate_all).
     pub fn occupancy(&self, mol: MoleculeId) -> usize {
         let base = mol.index() * self.frames_per_molecule;
         self.words[base..base + self.frames_per_molecule]
             .iter()
-            .filter(|&&w| w & VALID != 0)
-            .count()
+            .map(|&w| (w >> 63) as usize)
+            .sum()
     }
 
     /// The line addresses currently resident in `mol` (diagnostics /
     /// invariant checking): frame `i` holding tag `t` stores line
-    /// `t * frames + i`.
+    /// `t * frames + i`. One pass over the packed words; reconstruction
+    /// happens only for valid frames.
     pub fn resident_lines(&self, mol: MoleculeId) -> impl Iterator<Item = LineAddr> + '_ {
         let n = self.frames_per_molecule as u64;
         let base = mol.index() * self.frames_per_molecule;
@@ -234,6 +452,24 @@ mod tests {
         (TagStore::new(4, frames), MoleculeId(0))
     }
 
+    /// The pre-SWAR scalar gate: one `matches` per molecule, ids pushed
+    /// in tile order. The SWAR kernel must agree with this on every
+    /// input.
+    fn gate_scan_ref(t: &TagStore, base: usize, count: usize, asid: Asid) -> Vec<MoleculeId> {
+        (base..base + count)
+            .map(|i| MoleculeId(i as u32))
+            .filter(|&m| t.matches(m, asid))
+            .collect()
+    }
+
+    fn gate_scan_swar(t: &TagStore, base: usize, count: usize, asid: Asid) -> Vec<MoleculeId> {
+        let mut mask = GateMask::default();
+        t.gate_scan(base, count, asid, &mut mask);
+        let ids: Vec<MoleculeId> = mask.iter().collect();
+        assert_eq!(ids.len(), mask.count() as usize, "count must match bits");
+        ids
+    }
+
     #[test]
     fn direct_mapped_fill_and_lookup() {
         let (mut t, m) = store(128);
@@ -247,6 +483,20 @@ mod tests {
         t.fill(m, conflict, false);
         assert!(t.lookup(m, conflict));
         assert!(!t.lookup(m, line), "direct-mapped conflict must evict");
+    }
+
+    #[test]
+    fn non_power_of_two_frames_take_the_generic_slot_path() {
+        // 12 frames per molecule: the shift fast path must disengage and
+        // the div/mod path must agree on placement and tags.
+        let mut t = TagStore::new(3, 12);
+        let m = MoleculeId(1);
+        t.fill(m, LineAddr(12 + 5), true); // frame 5, tag 1
+        assert!(t.lookup(m, LineAddr(17)));
+        assert!(!t.lookup(m, LineAddr(5)), "tag 0 is a different line");
+        let lines: Vec<u64> = t.resident_lines(m).map(|l| l.0).collect();
+        assert_eq!(lines, vec![17]);
+        assert_eq!(t.invalidate(m, LineAddr(17)), Some(true));
     }
 
     #[test]
@@ -276,21 +526,138 @@ mod tests {
     }
 
     #[test]
+    fn configure_preserves_lane_neighbours() {
+        // All four molecules share one packed word: configuring one lane
+        // must not disturb the others.
+        let mut t = TagStore::new(4, 8);
+        for i in 0..4u32 {
+            t.configure(MoleculeId(i), Asid::new(100 + i as u16));
+        }
+        t.configure(MoleculeId(2), Asid::new(7));
+        for (i, want) in [(0u32, 100u16), (1, 101), (2, 7), (3, 103)] {
+            assert_eq!(t.asid_of(MoleculeId(i)), Asid::new(want), "lane {i}");
+        }
+        t.set_shared(MoleculeId(1), true);
+        t.set_shared(MoleculeId(1), false);
+        assert!(!t.is_shared(MoleculeId(0)) && !t.is_shared(MoleculeId(1)));
+    }
+
+    #[test]
     fn gate_scan_preserves_tile_order_and_isolation() {
         let mut t = TagStore::new(4, 16);
         t.configure(MoleculeId(0), Asid::new(2));
         t.configure(MoleculeId(1), Asid::new(1));
         t.configure(MoleculeId(3), Asid::new(1));
         t.set_shared(MoleculeId(2), true);
-        let mut out = Vec::new();
-        t.gate_scan(0, 4, Asid::new(1), &mut out);
+        let out = gate_scan_swar(&t, 0, 4, Asid::new(1));
         assert_eq!(out, vec![MoleculeId(1), MoleculeId(2), MoleculeId(3)]);
-        out.clear();
         // A free molecule (ASID none) never matches a none request.
         t.configure(MoleculeId(0), Asid::NONE);
         t.set_shared(MoleculeId(2), false);
-        t.gate_scan(0, 4, Asid::NONE, &mut out);
+        let out = gate_scan_swar(&t, 0, 4, Asid::NONE);
         assert!(out.is_empty(), "ASID 0 must not match free molecules");
+    }
+
+    #[test]
+    fn gate_scan_matches_scalar_reference_exhaustively() {
+        // 23 molecules: deliberately not a lane multiple. Mix owners,
+        // free molecules and shared bits across lane boundaries, then
+        // compare SWAR and scalar gates for every (base, count, asid)
+        // over a set of interesting ASIDs.
+        let mut t = TagStore::new(23, 4);
+        for i in 0..23u32 {
+            let asid = match i % 5 {
+                0 => Asid::NONE,
+                1 => Asid::new(1),
+                2 => Asid::new(2),
+                3 => Asid::new(0x7FFF),
+                _ => Asid::new(0xFFFF),
+            };
+            t.configure(MoleculeId(i), asid);
+            if i % 7 == 3 {
+                t.set_shared(MoleculeId(i), true);
+            }
+        }
+        let asids = [
+            Asid::NONE,
+            Asid::new(1),
+            Asid::new(2),
+            Asid::new(3),
+            Asid::new(0x7FFF),
+            Asid::new(0x8000),
+            Asid::new(0xFFFF),
+        ];
+        for base in 0..23 {
+            for count in 1..=(23 - base) {
+                for asid in asids {
+                    assert_eq!(
+                        gate_scan_swar(&t, base, count, asid),
+                        gate_scan_ref(&t, base, count, asid),
+                        "base {base} count {count} asid {}",
+                        asid.raw(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_scan_ragged_tail_and_misaligned_base() {
+        // Base 5 (lane 1 of word 1), count 6 (ends mid-word): the head
+        // and tail masks must clip the out-of-range lanes even when they
+        // would match.
+        let mut t = TagStore::new(16, 4);
+        for i in 0..16u32 {
+            t.configure(MoleculeId(i), Asid::new(9));
+        }
+        let out = gate_scan_swar(&t, 5, 6, Asid::new(9));
+        assert_eq!(out, (5..11).map(MoleculeId).collect::<Vec<_>>());
+        // Single-molecule range inside one word.
+        assert_eq!(gate_scan_swar(&t, 6, 1, Asid::new(9)), vec![MoleculeId(6)]);
+        assert_eq!(gate_scan_swar(&t, 6, 1, Asid::new(8)), vec![]);
+    }
+
+    #[test]
+    fn gate_scan_empty_range_is_empty() {
+        let t = TagStore::new(8, 4);
+        let mut mask = GateMask::default();
+        t.gate_scan(3, 0, Asid::new(1), &mut mask);
+        assert_eq!(mask.count(), 0);
+        assert_eq!(mask.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_lanes_is_exact_per_lane() {
+        // The classic haszero trick misreports lanes above a zero lane;
+        // this formulation must not. Lane layout: [0, 1, 0, 0x8000].
+        let y: u64 = 0x8000_0000_0001_0000;
+        let z = zero_lanes(y);
+        assert_eq!(z, 0x0000_8000_0000_8000, "exact zero lanes only");
+        assert_eq!(zero_lanes(0), LANE_HI);
+        assert_eq!(zero_lanes(u64::MAX), 0);
+    }
+
+    #[test]
+    fn shared_count_and_select() {
+        let mut t = TagStore::new(13, 4);
+        for i in [1u32, 4, 5, 9, 12] {
+            t.set_shared(MoleculeId(i), true);
+        }
+        assert_eq!(t.count_shared(0, 13), 5);
+        assert_eq!(t.count_shared(2, 4), 2, "range [2,6): shared 4, 5");
+        assert_eq!(t.count_shared(6, 3), 0);
+        assert_eq!(t.nth_shared(0, 13, 0), MoleculeId(1));
+        assert_eq!(t.nth_shared(0, 13, 3), MoleculeId(9));
+        assert_eq!(t.nth_shared(0, 13, 4), MoleculeId(12));
+        assert_eq!(t.nth_shared(2, 4, 1), MoleculeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer shared molecules")]
+    fn nth_shared_out_of_range_panics() {
+        let mut t = TagStore::new(8, 4);
+        t.set_shared(MoleculeId(2), true);
+        t.nth_shared(0, 8, 1);
     }
 
     #[test]
@@ -356,6 +723,16 @@ mod tests {
             t.lookup(MoleculeId(1), LineAddr(7)),
             "neighbour flush keeps slice"
         );
+    }
+
+    #[test]
+    fn invalidate_all_counts_only_valid_dirty_frames() {
+        let (mut t, m) = store(8);
+        t.fill(m, LineAddr(0), true); // valid+dirty
+        t.fill(m, LineAddr(1), false); // valid+clean
+        t.fill(m, LineAddr(2), true); // valid+dirty
+        assert_eq!(t.invalidate_all(m), 2);
+        assert_eq!(t.invalidate_all(m), 0, "second flush finds nothing");
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Property tests for the cached Ulmo search lists (`search_list`):
+//! arbitrary access/grow/shrink/release/re-home/shared-bit
+//! interleavings produce identical global and per-app statistics with
+//! the search cache on vs off, a current generation stamp always
+//! implies agreement with the membership-derived reference list, and
+//! no stale list survives a structural-generation bump as current.
+
+use molcache_core::config::InitialAllocation;
+use molcache_core::{MolecularCache, MolecularConfig, ResizeTrigger};
+use molcache_sim::{CacheModel, Request};
+use molcache_trace::{AccessKind, Address, Asid};
+use proptest::prelude::*;
+
+/// A small cache with an aggressive resize trigger so short op
+/// sequences still exercise grows, shrinks and generation churn.
+fn torture_config() -> MolecularConfig {
+    MolecularConfig::builder()
+        .molecule_size(1024)
+        .tile_molecules(8)
+        .tiles_per_cluster(2)
+        .clusters(1)
+        .initial_allocation(InitialAllocation::Molecules(2))
+        .trigger(ResizeTrigger::Constant { period: 64 })
+        .miss_rate_goal(0.05)
+        .build()
+        .unwrap()
+}
+
+/// One step of a generated interleaving, decoded from two raw u64
+/// draws. Compared with the memo suite this mix adds explicit
+/// grow/shrink ops so search lists churn through every structural
+/// path, not just the trigger-driven resizes.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Access { asid: u16, addr: u64, write: bool },
+    Grow { asid: u16, by: usize },
+    Shrink { asid: u16, by: usize },
+    Release { asid: u16 },
+    Rehome { asid: u16, tile: usize },
+    MakeShared { tile: usize },
+}
+
+/// Decodes `(selector, payload)` into an op. Accesses dominate (so
+/// cross-tile searches actually launch); structural ops are sprinkled
+/// in.
+fn decode(selector: u64, payload: u64) -> Op {
+    let asid = (payload % 3 + 1) as u16;
+    match selector % 16 {
+        11 => Op::Grow {
+            asid,
+            by: (payload >> 8) as usize % 4 + 1,
+        },
+        12 => Op::Shrink {
+            asid,
+            by: (payload >> 8) as usize % 4 + 1,
+        },
+        13 => Op::Release { asid },
+        14 => Op::Rehome {
+            asid,
+            tile: (payload >> 8) as usize % 2,
+        },
+        15 => Op::MakeShared {
+            tile: (payload >> 8) as usize % 2,
+        },
+        _ => Op::Access {
+            asid,
+            // A handful of hot lines per app plus a streaming tail.
+            addr: if payload.is_multiple_of(4) {
+                u64::from(asid) * 4096 + (payload >> 4) % 4 * 64
+            } else {
+                (payload >> 4) % 256 * 64
+            },
+            write: payload.is_multiple_of(5),
+        },
+    }
+}
+
+fn apply(c: &mut MolecularCache, op: Op) {
+    match op {
+        Op::Access { asid, addr, write } => {
+            c.access(Request {
+                asid: Asid::new(asid),
+                addr: Address::new(addr),
+                kind: if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            });
+        }
+        Op::Grow { asid, by } => {
+            if let Some(size) = c.region_size(Asid::new(asid)) {
+                c.set_region_size(Asid::new(asid), size + by);
+            }
+        }
+        Op::Shrink { asid, by } => {
+            if let Some(size) = c.region_size(Asid::new(asid)) {
+                c.set_region_size(Asid::new(asid), size.saturating_sub(by));
+            }
+        }
+        Op::Release { asid } => {
+            c.release_region(Asid::new(asid));
+        }
+        Op::Rehome { asid, tile } => {
+            c.rehome_app(Asid::new(asid), tile);
+        }
+        Op::MakeShared { tile } => {
+            c.make_shared(tile, 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of accesses, explicit grows/shrinks,
+    /// trigger-driven resizes and revocations yields bit-identical
+    /// stats, activity and region state with the search cache on vs
+    /// off.
+    #[test]
+    fn search_cache_is_stat_invisible_under_arbitrary_interleavings(
+        ops in proptest::collection::vec(
+            (proptest::num::u64::ANY, proptest::num::u64::ANY), 50..400),
+    ) {
+        let mut on = MolecularCache::new(torture_config());
+        let mut off = MolecularCache::new(torture_config());
+        on.set_search_cache(true);
+        off.set_search_cache(false);
+        for &(sel, payload) in &ops {
+            let op = decode(sel, payload);
+            apply(&mut on, op);
+            apply(&mut off, op);
+        }
+        prop_assert_eq!(on.stats(), off.stats());
+        prop_assert_eq!(on.activity(), off.activity());
+        prop_assert_eq!(on.snapshots(), off.snapshots());
+        prop_assert_eq!(on.free_molecules(), off.free_molecules());
+        prop_assert_eq!(on.find_duplicate_line(), None);
+    }
+
+    /// Per-app breakdown of the same property: every application's
+    /// hit/miss counters agree between the two runs.
+    #[test]
+    fn search_cache_keeps_every_apps_counters_identical(
+        ops in proptest::collection::vec(
+            (proptest::num::u64::ANY, proptest::num::u64::ANY), 50..250),
+    ) {
+        let mut on = MolecularCache::new(torture_config());
+        let mut off = MolecularCache::new(torture_config());
+        on.set_search_cache(true);
+        off.set_search_cache(false);
+        for &(sel, payload) in &ops {
+            let op = decode(sel, payload);
+            apply(&mut on, op);
+            apply(&mut off, op);
+        }
+        for asid in 1u16..=3 {
+            let a = on.stats().app(Asid::new(asid));
+            let b = off.stats().app(Asid::new(asid));
+            prop_assert_eq!(a, b, "per-app stats diverged for ASID {}", asid);
+        }
+    }
+
+    /// The search-list invalidation contract, checked after every op:
+    ///
+    /// 1. A current stamp is trustworthy — whenever a region's cached
+    ///    stamp equals the live structural generation, the cached tile
+    ///    list equals the list derived directly from membership.
+    /// 2. No stale list survives a generation bump as current — after
+    ///    any op that advances the generation, no stamp written before
+    ///    the op can equal the new generation (stamps only move by
+    ///    rebuilds, which re-derive from membership and satisfy 1).
+    #[test]
+    fn no_stale_search_list_reads_as_current(
+        ops in proptest::collection::vec(
+            (proptest::num::u64::ANY, proptest::num::u64::ANY), 50..300),
+    ) {
+        let mut c = MolecularCache::new(torture_config());
+        c.set_search_cache(true);
+        let mut generation = c.structure_generation();
+
+        for &(sel, payload) in &ops {
+            // Stamps observed before the op, to detect a stale stamp
+            // getting promoted by a bump instead of a rebuild.
+            let before: Vec<(u16, u64)> = (1u16..=3)
+                .filter_map(|a| {
+                    c.cached_search_list(Asid::new(a)).map(|(s, _)| (a, s))
+                })
+                .collect();
+
+            let op = decode(sel, payload);
+            apply(&mut c, op);
+
+            let now = c.structure_generation();
+            prop_assert!(now >= generation, "generation went backwards");
+            if now != generation {
+                for &(asid, stamp) in &before {
+                    prop_assert!(
+                        stamp != now,
+                        "pre-bump stamp for ASID {} reads as current",
+                        asid
+                    );
+                }
+                generation = now;
+            }
+
+            for asid in 1u16..=3 {
+                let Some((stamp, cached)) = c.cached_search_list(Asid::new(asid))
+                else {
+                    continue;
+                };
+                if stamp == now {
+                    let reference = c
+                        .reference_search_list(Asid::new(asid))
+                        .expect("region exists");
+                    prop_assert_eq!(
+                        &cached, &reference,
+                        "current-stamped list diverged from membership for ASID {}",
+                        asid
+                    );
+                }
+            }
+        }
+    }
+}
