@@ -34,24 +34,14 @@ use molcache_bench::report::{
     BenchDoc, StageProfileRecord, WorkloadResult, REGRESSION_TOLERANCE,
 };
 use molcache_bench::stopwatch::{machine_line, measure, measure_paired, section, Timing};
+use molcache_bench::workloads::{
+    cache_1mb, miss_storm_cache, miss_storm_requests, mixed12_requests, single_requests, SINGLES,
+};
 use molcache_core::{MolecularCache, RegionPolicy};
 use molcache_serve::{replay, CacheService, ReplayOptions};
 use molcache_sim::{CacheModel, Request};
-use molcache_trace::gen::{BoxedSource, TraceSource};
-use molcache_trace::interleave::Workload;
 use molcache_trace::presets::Benchmark;
-use molcache_trace::rng::Rng;
-use molcache_trace::{AccessKind, Address, Asid};
 use std::time::{Duration, Instant};
-
-/// Benchmarks the single-stream workloads cover: one cache-friendly
-/// (crc), one streaming (mcf), two mixed-locality (ammp, parser).
-const SINGLES: [Benchmark; 4] = [
-    Benchmark::Ammp,
-    Benchmark::Mcf,
-    Benchmark::Crc,
-    Benchmark::Parser,
-];
 
 /// Worker count of the `engine_sweep_x4` workload (fixed, not
 /// host-derived: workload definitions must be identical across machines
@@ -62,9 +52,7 @@ const SWEEP_JOBS: usize = 4;
 /// driver in `molcache_sim::cmp`.
 const BATCH_CHUNK: usize = 1024;
 
-/// Tenant (= shard) count of the `serve_mt` workloads. Fixed like
-/// `SWEEP_JOBS` so workload definitions match across machines.
-const SERVE_TENANTS: usize = 4;
+use molcache_bench::workloads::SERVE_TENANTS;
 
 /// Workload-name prefixes the `--floor` gate holds to a strict win: the
 /// single-stream workloads (the memo front-end's beneficiaries) and the
@@ -257,68 +245,6 @@ fn parse_args() -> Args {
         usage();
     }
     args
-}
-
-/// One benchmark's stream as a replayable request vector.
-fn single_requests(bm: Benchmark, n: u64, seed: u64) -> Vec<Request> {
-    let mut src = bm.source(Asid::new(1), seed);
-    src.collect_n(n as usize)
-        .into_iter()
-        .map(Request::from)
-        .collect()
-}
-
-/// The MIXED12 round-robin interleaving as a replayable request vector.
-fn mixed12_requests(n: u64, seed: u64) -> Vec<Request> {
-    let sources: Vec<BoxedSource> = molcache_trace::presets::workload(&Benchmark::MIXED12, seed)
-        .into_iter()
-        .map(|(_, src)| src)
-        .collect();
-    Workload::new(sources)
-        .expect("preset workload is valid")
-        .round_robin()
-        .take(n as usize)
-        .map(Request::from)
-        .collect()
-}
-
-/// The 1 MB single-app cache the microbenches also use.
-fn cache_1mb(seed: u64) -> MolecularCache {
-    molecular_cache(1 << 20, 1, 4, RegionPolicy::Randy, 0.1, seed)
-}
-
-/// Footprint of the `miss_storm` address stream: 1 GiB of uniform-random
-/// lines against a 1 MB cache leaves a ~0.1% residual hit rate, so
-/// essentially every access walks the whole miss path — home-tile gate
-/// and probe, the Ulmo search across every remote tile of the region,
-/// victim selection, block fill.
-const MISS_STORM_FOOTPRINT: u64 = 1 << 30;
-
-/// The `miss_storm` cache: the single tenant's region grown to span
-/// every tile of the cluster, so virtually every access misses the
-/// home tile and drives the cross-tile search over all remote tiles.
-fn miss_storm_cache(seed: u64, memo: bool) -> MolecularCache {
-    let mut cache = cache_1mb(seed);
-    cache.set_memo_front(memo);
-    cache.admit_app(Asid::new(1));
-    let total = cache.config().total_molecules();
-    let spanned = cache
-        .set_region_size(Asid::new(1), total)
-        .expect("admitted above");
-    assert_eq!(spanned, total, "miss_storm region must span every tile");
-    cache
-}
-
-/// The `miss_storm` request stream: one tenant, uniform-random reads.
-fn miss_storm_requests(n: u64, seed: u64) -> Vec<Request> {
-    let mut rng = Rng::seeded(seed ^ 0x5702_13A7);
-    (0..n)
-        .map(|_| Request {
-            asid: Asid::new(1),
-            addr: Address::new(rng.next_u64() % MISS_STORM_FOOTPRINT),
-            kind: AccessKind::Read,
-        })
-        .collect()
 }
 
 /// One line of memo front-end effectiveness for a finished workload.

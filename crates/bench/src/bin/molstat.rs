@@ -12,12 +12,15 @@
 //! molstat --stages --power               # per-stage cycles/events/energy
 //! molstat --refs 60000 --period 2000 --epoch 5000 --json > series.json
 //! molstat --serve serve.json             # render a molserve replay record
+//! molstat --tourney TOURNEY_2026-08-08.json  # render a policy tournament
 //! ```
 //!
 //! `--serve FILE` is a standalone viewer mode: it renders a
 //! `molcache-serve-v1` document (written by `molserve --json`) as
 //! per-tenant hit-rate and per-cluster contention tables and exits
-//! without running any simulation.
+//! without running any simulation. `--tourney FILE` does the same for a
+//! `molcache-tourney-v1` record written by `moltourney`: per-workload
+//! league tables plus the cross-workload summary.
 //!
 //! One run per listed policy; `--jobs N` fans the runs across workers.
 //! Runs are merged back in policy-list order, so the output (text and
@@ -35,6 +38,7 @@
 
 use molcache_bench::experiments::table2;
 use molcache_bench::harness::{run_workload_recorded, Engine};
+use molcache_bench::tourney::TourneyDoc;
 use molcache_core::{MemoStats, MolecularCache, RegionPolicy, StageWallProfile};
 use molcache_power::calibrate::molecule_report;
 use molcache_power::tech::TechNode;
@@ -58,6 +62,7 @@ struct Args {
     stages: bool,
     memo: bool,
     serve: Option<String>,
+    tourney: Option<String>,
 }
 
 fn usage() -> ! {
@@ -77,7 +82,10 @@ fn usage() -> ! {
          \u{20} --json    print the merged time-series as JSON on stdout\n\
          \u{20} --serve FILE  render a molserve replay record (molcache-serve-v1\n\
          \u{20}           JSON from `molserve --json`) and exit: per-tenant\n\
-         \u{20}           hit-rate table plus per-cluster contention counters"
+         \u{20}           hit-rate table plus per-cluster contention counters\n\
+         \u{20} --tourney FILE  render a policy-tournament record\n\
+         \u{20}           (molcache-tourney-v1 JSON from `moltourney`) and exit:\n\
+         \u{20}           per-workload league tables plus cross-workload means"
     );
     std::process::exit(2);
 }
@@ -104,6 +112,7 @@ fn parse_args() -> Args {
         stages: false,
         memo: false,
         serve: None,
+        tourney: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -120,6 +129,7 @@ fn parse_args() -> Args {
             "--stages" => args.stages = true,
             "--memo" => args.memo = true,
             "--serve" => args.serve = Some(value()),
+            "--tourney" => args.tourney = Some(value()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -303,10 +313,37 @@ fn report_serve(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders a `molcache-tourney-v1` policy-tournament record: run
+/// parameters, the per-workload league tables and the cross-workload
+/// summary.
+fn report_tourney(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = TourneyDoc::from_json(&text).map_err(|e| format!("invalid record {path}: {e}"))?;
+    println!(
+        "policy tournament {}: {} policies x {} workloads, {} refs/cell, seed {}{}",
+        doc.date,
+        doc.policies().len(),
+        doc.workloads().len(),
+        doc.refs,
+        doc.seed,
+        if doc.smoke { " [smoke]" } else { "" },
+    );
+    println!();
+    print!("{}", doc.render());
+    Ok(())
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = &args.serve {
         if let Err(msg) = report_serve(path) {
+            eprintln!("molstat: {msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(path) = &args.tourney {
+        if let Err(msg) = report_tourney(path) {
             eprintln!("molstat: {msg}");
             std::process::exit(1);
         }

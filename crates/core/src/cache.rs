@@ -12,10 +12,10 @@
 use crate::config::MolecularConfig;
 use crate::ids::{ClusterId, MoleculeId, TileId};
 use crate::molecule::Molecule;
+use crate::policy::{PaperAlgorithm1, ResizeEvent, ResizePolicy};
 use crate::profiler::StageWallProfile;
 use crate::region::Region;
 use crate::region_table::RegionTable;
-use crate::resize::{ResizeController, ResizeEvent};
 use crate::stats::RegionSnapshot;
 use crate::tags::{GateMask, TagStore};
 use crate::tile::{Tile, TileCluster};
@@ -44,7 +44,9 @@ pub struct MolecularCache {
     pub(crate) tiles: Vec<Tile>,
     pub(crate) clusters: Vec<TileCluster>,
     pub(crate) regions: RegionTable,
-    pub(crate) resizer: ResizeController,
+    /// The installed resize decision policy (see [`crate::policy`]);
+    /// defaults to [`PaperAlgorithm1`] on the configured trigger.
+    pub(crate) resize_policy: Box<dyn ResizePolicy>,
     pub(crate) rng: Rng,
     pub(crate) lfsr: Lfsr16,
     pub(crate) stats: CacheStats,
@@ -111,7 +113,7 @@ impl MolecularCache {
             }
             clusters.push(TileCluster::new(cluster, cluster_tiles));
         }
-        let resizer = ResizeController::new(cfg.trigger());
+        let resize_policy: Box<dyn ResizePolicy> = Box::new(PaperAlgorithm1::new(cfg.trigger()));
         let rng = Rng::seeded(cfg.seed);
         let lfsr = Lfsr16::new(cfg.seed as u16);
         let clusters_count = cfg.clusters();
@@ -124,7 +126,7 @@ impl MolecularCache {
             tiles,
             clusters,
             regions: RegionTable::new(),
-            resizer,
+            resize_policy,
             rng,
             lfsr,
             stats: CacheStats::new(),
@@ -221,6 +223,56 @@ impl MolecularCache {
     /// The configuration in force.
     pub fn config(&self) -> &MolecularConfig {
         &self.cfg
+    }
+
+    /// Installs a resize decision policy, replacing the current one.
+    /// Every existing region is registered with the incoming policy so
+    /// per-application trigger timers exist from the first access after
+    /// the swap. Mechanism state (allocations, windows, structural
+    /// generation) is untouched — only future decisions change.
+    pub fn set_resize_policy(&mut self, mut policy: Box<dyn ResizePolicy>) {
+        for asid in self.regions.keys() {
+            policy.register_app(*asid);
+        }
+        self.resize_policy = policy;
+    }
+
+    /// Builder-style [`set_resize_policy`](Self::set_resize_policy).
+    #[must_use]
+    pub fn with_resize_policy(mut self, policy: Box<dyn ResizePolicy>) -> Self {
+        self.set_resize_policy(policy);
+        self
+    }
+
+    /// Stable name of the installed resize policy.
+    pub fn resize_policy_name(&self) -> &'static str {
+        self.resize_policy.name()
+    }
+
+    /// Delivers a declared working-set-size annotation (a trace phase
+    /// marker, see `molcache_trace::annotate`) to the installed policy,
+    /// converted from bytes to whole molecules. Policies that do not
+    /// consume hints ignore it.
+    pub fn note_phase_hint(&mut self, asid: Asid, working_set_bytes: u64) {
+        let ms = self.cfg.molecule_size();
+        let molecules = working_set_bytes.div_ceil(ms).max(1) as usize;
+        self.resize_policy.phase_hint(asid, molecules);
+    }
+
+    /// Changes one application's miss-rate goal at runtime (per-tenant
+    /// SLA adjustment; the configuration's goal map is the initial
+    /// value). Returns `false` if the application has no region yet.
+    pub fn set_region_goal(&mut self, asid: Asid, goal: f64) -> bool {
+        if !(goal > 0.0 && goal < 1.0) {
+            return false;
+        }
+        match self.regions.get_mut(&asid) {
+            Some(region) => {
+                region.set_goal(goal);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Total free (unassigned) molecules.
@@ -355,7 +407,7 @@ impl CacheModel for MolecularCache {
         self.ensure_region(req.asid);
         self.activity.accesses += 1;
         let outcome = self.service(req);
-        match self.resizer.on_access(req.asid) {
+        match self.resize_policy.on_access(req.asid) {
             ResizeEvent::None => {}
             ResizeEvent::AllPartitions => self.resize_all(),
             ResizeEvent::Partition(asid) => self.resize_one(asid),
@@ -383,7 +435,7 @@ impl CacheModel for MolecularCache {
             while i < reqs.len() && reqs[i].asid == asid {
                 self.activity.accesses += 1;
                 out.note(self.service(reqs[i]));
-                match self.resizer.on_access(asid) {
+                match self.resize_policy.on_access(asid) {
                     ResizeEvent::None => {}
                     ResizeEvent::AllPartitions => self.resize_all(),
                     ResizeEvent::Partition(a) => self.resize_one(a),

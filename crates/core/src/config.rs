@@ -150,6 +150,11 @@ impl MolecularConfig {
         self.policy
     }
 
+    /// The default miss-rate goal (applications without an override).
+    pub fn default_goal(&self) -> f64 {
+        self.default_goal
+    }
+
     /// The miss-rate goal for an application.
     pub fn goal(&self, asid: Asid) -> f64 {
         self.goals.get(&asid).copied().unwrap_or(self.default_goal)

@@ -62,6 +62,7 @@ mod lifecycle;
 pub mod molecule;
 mod observe;
 pub mod pipeline;
+pub mod policy;
 pub mod profiler;
 pub mod region;
 pub mod region_table;
@@ -75,5 +76,6 @@ pub use cache::MolecularCache;
 pub use config::{InitialAllocation, MolecularConfig, MolecularConfigBuilder, RegionPolicy};
 pub use error::CoreError;
 pub use pipeline::{Lfsr16, MemoStats, VictimPolicy};
+pub use policy::ResizePolicy;
 pub use profiler::StageWallProfile;
 pub use resize::ResizeTrigger;

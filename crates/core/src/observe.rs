@@ -8,8 +8,11 @@
 //! attached.
 
 use crate::cache::MolecularCache;
+use crate::policy::DecisionInputs;
 use crate::region::Region;
-use molcache_telemetry::{EpochActivity, EpochSample, Event, ResizeKind, ResizeRecord};
+use molcache_telemetry::{
+    EpochActivity, EpochSample, Event, ResizeDecisionInputs, ResizeKind, ResizeRecord,
+};
 use molcache_trace::Asid;
 
 impl MolecularCache {
@@ -88,7 +91,8 @@ impl MolecularCache {
         }
     }
 
-    /// Publishes one applied resize decision.
+    /// Publishes one applied resize decision, tagged with the policy
+    /// that fired it and the full decision-input snapshot it saw.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn publish_resize(
         &self,
@@ -99,13 +103,14 @@ impl MolecularCache {
         before: usize,
         window_miss_rate: f64,
         goal: f64,
+        inputs: &DecisionInputs,
     ) {
         if !self.sink.is_enabled() {
             return;
         }
         let record = ResizeRecord {
             at_access: self.activity.accesses,
-            trigger: self.cfg.trigger().name().to_string(),
+            trigger: self.resize_policy.trigger_label().to_string(),
             asid,
             kind,
             requested,
@@ -114,6 +119,17 @@ impl MolecularCache {
             after: self.regions[&asid].size(),
             window_miss_rate,
             goal,
+            policy: self.resize_policy.name().to_string(),
+            inputs: ResizeDecisionInputs {
+                window_accesses: inputs.window_accesses,
+                window_miss_rate: inputs.window_miss_rate,
+                last_miss_rate: inputs.last_miss_rate,
+                goal: inputs.goal,
+                current: inputs.current,
+                last_allocation: inputs.last_allocation,
+                max_allocation: inputs.max_allocation,
+                free_molecules: inputs.free_molecules,
+            },
         };
         self.sink.emit(Event::Resize(&record));
     }

@@ -1,0 +1,235 @@
+//! Memshare-style marginal-benefit arbitration (PAPERS.md): instead of
+//! judging each partition in isolation, every all-partitions round ranks
+//! the live partitions by the marginal hit-rate return their last
+//! allocation bought, then transfers capacity from clearly-satisfied
+//! donors to the highest-return claimants. Algorithm 1 asks "is this
+//! partition meeting *its* goal?"; this asks "where does the next
+//! molecule buy the most hits?".
+
+use super::paper::{Decision, SHRINK_MARGIN};
+use super::trigger::{AdaptScope, ResizeController, ResizeEvent, ResizeTrigger};
+use super::{DecisionInputs, PartitionWindow, ResizePolicy};
+use molcache_trace::Asid;
+use std::collections::BTreeMap;
+
+/// What the round planner decided for a partition; sized in `decide`
+/// where the authoritative current allocation is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pressure {
+    Claim,
+    Donate,
+}
+
+/// Per-epoch arbitration by marginal hit-rate deltas.
+///
+/// [`begin_round`](ResizePolicy::begin_round) snapshots every live
+/// partition, computes each one's marginal utility — the absolute
+/// miss-rate improvement of the closing window over the previous one,
+/// i.e. the hit-rate return on whatever the last round granted — and
+/// plans:
+///
+/// - **Donors**: partitions clearly under goal (Algorithm 1's
+///   [`SHRINK_MARGIN`] band) release capacity conservatively.
+/// - **Claimants**: the top half (at least one) of the above-goal
+///   partitions ranked by marginal utility, first-window partitions
+///   ranked highest — growth goes where it has been paying off, not to
+///   whoever misses hardest. A stagnant over-goal partition with zero
+///   marginal return claims nothing, starving compulsory-miss thrashers
+///   without a special case.
+///
+/// All ranking is deterministic: utilities are compared exactly, ties
+/// broken by ASID order.
+#[derive(Debug, Clone)]
+pub struct MemsharePressure {
+    controller: ResizeController,
+    plan: BTreeMap<Asid, Pressure>,
+}
+
+impl MemsharePressure {
+    /// Creates the arbiter on a global-adaptive period.
+    pub fn new(initial_period: u64) -> Self {
+        MemsharePressure {
+            controller: ResizeController::new(ResizeTrigger::GlobalAdaptive { initial_period }),
+            plan: BTreeMap::new(),
+        }
+    }
+}
+
+impl ResizePolicy for MemsharePressure {
+    fn name(&self) -> &'static str {
+        "memshare-pressure"
+    }
+
+    fn register_app(&mut self, asid: Asid) {
+        self.controller.register_app(asid);
+    }
+
+    fn on_access(&mut self, asid: Asid) -> ResizeEvent {
+        self.controller.on_access(asid)
+    }
+
+    fn begin_round(&mut self, windows: &[PartitionWindow]) {
+        self.plan.clear();
+        // (utility, asid) for every above-goal active partition; donors
+        // planned directly. First windows (last == 1.0 sentinel) get the
+        // sentinel-sized delta, ranking them ahead of any steady-state
+        // partition — new tenants must be able to bootstrap.
+        let mut claimants: Vec<(f64, Asid)> = Vec::new();
+        for w in windows {
+            if w.window_accesses == 0 {
+                continue;
+            }
+            if w.window_miss_rate < w.goal * SHRINK_MARGIN {
+                self.plan.insert(w.asid, Pressure::Donate);
+            } else if w.window_miss_rate > w.goal {
+                let utility = w.last_miss_rate - w.window_miss_rate;
+                if utility > 0.0 {
+                    claimants.push((utility, w.asid));
+                }
+            }
+        }
+        // Highest marginal return first; exact f64 compare is fine (the
+        // values are differences of window ratios) with ASID tiebreak.
+        claimants.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let take = claimants.len().div_ceil(2);
+        for (_, asid) in claimants.into_iter().take(take) {
+            self.plan.insert(asid, Pressure::Claim);
+        }
+    }
+
+    fn decide(&mut self, inputs: &DecisionInputs) -> Decision {
+        match self.plan.get(&inputs.asid) {
+            Some(Pressure::Claim) => {
+                // Linear-model target like Algorithm 1's improving branch,
+                // but granted only because the round ranked this
+                // partition's marginal return highest.
+                let target = ((inputs.current as f64 * inputs.window_miss_rate) / inputs.goal)
+                    .ceil() as usize;
+                let want = target
+                    .saturating_sub(inputs.current)
+                    .clamp(1, inputs.max_allocation);
+                Decision::Grow(want)
+            }
+            Some(Pressure::Donate) => {
+                let temp = ((inputs.current as f64 * inputs.window_miss_rate) / inputs.goal)
+                    .sqrt()
+                    .ceil() as usize;
+                if temp == 0 || inputs.current <= 1 {
+                    Decision::Hold
+                } else {
+                    Decision::Shrink(temp.min(inputs.current - 1))
+                }
+            }
+            None => Decision::Hold,
+        }
+    }
+
+    fn adapt(&mut self, scope: AdaptScope, miss_rate: f64, goal: f64) {
+        self.controller.adapt(scope, miss_rate, goal);
+    }
+
+    fn clone_box(&self) -> Box<dyn ResizePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(asid: u16, mr: f64, last: f64, goal: f64, size: usize) -> PartitionWindow {
+        PartitionWindow {
+            asid: Asid::new(asid),
+            window_accesses: 1_000,
+            window_miss_rate: mr,
+            last_miss_rate: last,
+            goal,
+            size,
+        }
+    }
+
+    fn inputs(asid: u16, mr: f64, goal: f64, current: usize) -> DecisionInputs {
+        DecisionInputs {
+            asid: Asid::new(asid),
+            window_accesses: 1_000,
+            window_miss_rate: mr,
+            last_miss_rate: 1.0,
+            goal,
+            current,
+            last_allocation: 4,
+            max_allocation: 16,
+            free_molecules: 50,
+        }
+    }
+
+    #[test]
+    fn highest_marginal_return_claims_first() {
+        let mut p = MemsharePressure::new(100);
+        // App 1 improved a lot (0.6 -> 0.3), app 2 barely (0.32 -> 0.30):
+        // only the top half (one of two) claims.
+        p.begin_round(&[
+            window(1, 0.30, 0.60, 0.10, 10),
+            window(2, 0.30, 0.32, 0.10, 10),
+        ]);
+        assert!(matches!(
+            p.decide(&inputs(1, 0.30, 0.10, 10)),
+            Decision::Grow(_)
+        ));
+        assert_eq!(p.decide(&inputs(2, 0.30, 0.10, 10)), Decision::Hold);
+    }
+
+    #[test]
+    fn satisfied_partitions_donate() {
+        let mut p = MemsharePressure::new(100);
+        p.begin_round(&[window(1, 0.05, 0.06, 0.10, 32)]);
+        // sqrt(32 * 0.05 / 0.10) = 4.
+        assert_eq!(p.decide(&inputs(1, 0.05, 0.10, 32)), Decision::Shrink(4));
+        // A one-molecule partition never donates itself away.
+        assert_eq!(p.decide(&inputs(1, 0.05, 0.10, 1)), Decision::Hold);
+    }
+
+    #[test]
+    fn stagnant_thrashers_claim_nothing() {
+        let mut p = MemsharePressure::new(100);
+        // Zero marginal return (0.8 -> 0.8): no claim, even though the
+        // partition misses hardest of everyone.
+        p.begin_round(&[
+            window(1, 0.80, 0.80, 0.10, 10),
+            window(2, 0.20, 0.25, 0.10, 10),
+        ]);
+        assert_eq!(p.decide(&inputs(1, 0.80, 0.10, 10)), Decision::Hold);
+        assert!(matches!(
+            p.decide(&inputs(2, 0.20, 0.10, 10)),
+            Decision::Grow(_)
+        ));
+    }
+
+    #[test]
+    fn first_window_partitions_rank_ahead() {
+        let mut p = MemsharePressure::new(100);
+        // App 3 is brand new (sentinel last == 1.0 -> utility 0.2); app 1
+        // improved by 0.05. Top half of two claimants = one: app 3.
+        p.begin_round(&[
+            window(1, 0.30, 0.35, 0.10, 10),
+            window(3, 0.80, 1.00, 0.10, 2),
+        ]);
+        assert!(matches!(
+            p.decide(&inputs(3, 0.80, 0.10, 2)),
+            Decision::Grow(_)
+        ));
+        assert_eq!(p.decide(&inputs(1, 0.30, 0.10, 10)), Decision::Hold);
+    }
+
+    #[test]
+    fn idle_windows_are_ignored() {
+        let mut p = MemsharePressure::new(100);
+        let mut idle = window(1, 0.05, 0.06, 0.10, 32);
+        idle.window_accesses = 0;
+        p.begin_round(&[idle]);
+        assert_eq!(p.decide(&inputs(1, 0.05, 0.10, 32)), Decision::Hold);
+    }
+}

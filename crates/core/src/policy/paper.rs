@@ -1,0 +1,289 @@
+//! The paper's Algorithm 1 as a [`ResizePolicy`] — the default, and the
+//! bit-identical behavior baseline every refactor is gated against.
+
+use super::trigger::{AdaptScope, ResizeController, ResizeEvent, ResizeTrigger};
+use super::{DecisionInputs, ResizePolicy};
+use molcache_trace::Asid;
+
+/// Algorithm 1's per-partition decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Grow the partition by this many molecules (subject to free-pool
+    /// availability).
+    Grow(usize),
+    /// Withdraw this many molecules.
+    Shrink(usize),
+    /// Leave the partition unchanged.
+    Hold,
+}
+
+/// Minimum absolute miss-rate improvement a thrashing partition must
+/// show for its last growth chunk before it is granted another one.
+/// Algorithm 1's clamp (`max_allocation = last_allocation`) damps
+/// thrash-growth; this makes the damping explicit, so an application with
+/// pure compulsory misses (the paper's `mcf`) cannot convert the >50 %
+/// branch into an unbounded land-grab "at the cost of performance of
+/// other applications" (§3.4). Capacity-bound applications keep growing:
+/// with Random/Randy replacement, added molecules lower their miss rate
+/// window over window.
+pub const GROWTH_IMPROVEMENT_EPS: f64 = 0.02;
+
+/// Absolute window-to-window miss-rate *increase* that is read as a phase
+/// change (§3.4's motivation for periodic resizing: working sets move).
+/// A thrashing partition whose miss rate jumped this much since the last
+/// window is granted growth even though it is not "improving" — without
+/// this, a partition shrunk during a small-working-set phase would be
+/// dead-locked at miss rate ≈ 1 when the program enters a larger phase
+/// (stagnant-high is indistinguishable from compulsory-bound otherwise).
+pub const PHASE_CHANGE_EPS: f64 = 0.10;
+
+/// Fraction of the goal below which a partition is considered clearly
+/// over-provisioned and starts giving molecules back. Window miss rates
+/// are noisy; withdrawing on *any* below-goal sample lets a partition
+/// that has converged onto its goal bleed molecules to neighbours one
+/// noise sample at a time.
+pub const SHRINK_MARGIN: f64 = 0.67;
+
+/// Algorithm 1 (verbatim structure from the paper, with the two
+/// `resize()` call sites interpreted as: grow *toward* the linear-model
+/// target size, with the growth chunk capped by `max_allocation` and by
+/// the most recent successful allocation when the partition is
+/// thrashing).
+///
+/// * `miss_rate > 50 %` — partition is drowning: grow by a full chunk
+///   (`max_allocation`, but never more than the last allocation granted,
+///   per the paper's clamp) — provided the previous chunk actually
+///   improved the miss rate (see [`GROWTH_IMPROVEMENT_EPS`]).
+/// * `miss_rate < goal` — partition is over-provisioned: withdraw
+///   `sqrt(current * miss_rate / goal)` molecules ("withdraw molecules
+///   more slowly than you add — conservative").
+/// * `miss_rate < last_miss_rate` — improving but above goal: the linear
+///   cache-size/miss-rate model says the partition needs
+///   `current * miss_rate / goal` molecules; grow toward that, capped.
+/// * otherwise — hold (growth is not paying off).
+///
+/// ```
+/// use molcache_core::resize::{algorithm1, Decision};
+///
+/// // Improving but above a 10% goal with 10 molecules: the linear model
+/// // wants 10 * 0.30 / 0.10 = 30, so grow by 16 (the chunk cap).
+/// assert_eq!(algorithm1(0.30, 0.10, 0.40, 10, 4, 16), Decision::Grow(16));
+/// // Clearly below goal: withdraw sqrt(32 * 0.05 / 0.10) = 4.
+/// assert_eq!(algorithm1(0.05, 0.10, 0.20, 32, 4, 16), Decision::Shrink(4));
+/// ```
+pub fn algorithm1(
+    miss_rate: f64,
+    goal: f64,
+    last_miss_rate: f64,
+    current: usize,
+    last_allocation: usize,
+    max_allocation: usize,
+) -> Decision {
+    debug_assert!(goal > 0.0);
+    if miss_rate > 0.5 {
+        let improving = miss_rate <= last_miss_rate - GROWTH_IMPROVEMENT_EPS;
+        let first_window = last_miss_rate >= 1.0;
+        let phase_change = miss_rate >= last_miss_rate + PHASE_CHANGE_EPS;
+        if improving || first_window || phase_change {
+            let chunk = max_allocation.min(last_allocation.max(1));
+            Decision::Grow(chunk)
+        } else {
+            // Stagnant-high: growth is not converting into hits
+            // (compulsory-miss bound) — stop feeding this partition.
+            Decision::Hold
+        }
+    } else if miss_rate < goal * SHRINK_MARGIN {
+        // Rounded *up*: a partition clearly below goal always gives back
+        // at least one molecule (with miss_rate == 0 exactly, sqrt is 0
+        // and the ceil stays 0 — a perfectly idle window holds).
+        let temp = ((current as f64 * miss_rate) / goal).sqrt().ceil() as usize;
+        if temp == 0 || current <= 1 {
+            Decision::Hold
+        } else {
+            Decision::Shrink(temp.min(current - 1))
+        }
+    } else if miss_rate < goal {
+        // Inside the dead band just under the goal: converged, hold.
+        // Withdrawing here would only churn data and hand molecules to
+        // whichever neighbour's window noise asks loudest.
+        Decision::Hold
+    } else if miss_rate < last_miss_rate {
+        let target = ((current as f64 * miss_rate) / goal).ceil() as usize;
+        if target <= current {
+            Decision::Hold
+        } else {
+            Decision::Grow((target - current).min(max_allocation))
+        }
+    } else {
+        Decision::Hold
+    }
+}
+
+/// The default policy: [`algorithm1`] decisions on the configured trigger
+/// scheme, each partition judged against its own goal — exactly the
+/// pre-trait behavior, bit for bit (its telemetry `trigger` label is the
+/// trigger scheme's name, as before the refactor).
+#[derive(Debug, Clone)]
+pub struct PaperAlgorithm1 {
+    controller: ResizeController,
+}
+
+impl PaperAlgorithm1 {
+    /// Creates the policy on the given trigger scheme.
+    pub fn new(trigger: ResizeTrigger) -> Self {
+        PaperAlgorithm1 {
+            controller: ResizeController::new(trigger),
+        }
+    }
+
+    /// The embedded trigger controller (read-only; for inspection).
+    pub fn controller(&self) -> &ResizeController {
+        &self.controller
+    }
+}
+
+impl ResizePolicy for PaperAlgorithm1 {
+    fn name(&self) -> &'static str {
+        "paper-algorithm1"
+    }
+
+    fn trigger_label(&self) -> &'static str {
+        self.controller.trigger().name()
+    }
+
+    fn register_app(&mut self, asid: Asid) {
+        self.controller.register_app(asid);
+    }
+
+    fn on_access(&mut self, asid: Asid) -> ResizeEvent {
+        self.controller.on_access(asid)
+    }
+
+    fn decide(&mut self, inputs: &DecisionInputs) -> Decision {
+        algorithm1(
+            inputs.window_miss_rate,
+            inputs.goal,
+            inputs.last_miss_rate,
+            inputs.current,
+            inputs.last_allocation,
+            inputs.max_allocation,
+        )
+    }
+
+    fn adapt(&mut self, scope: AdaptScope, miss_rate: f64, goal: f64) {
+        self.controller.adapt(scope, miss_rate, goal);
+    }
+
+    fn clone_box(&self) -> Box<dyn ResizePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thrashing_partition_grows_by_chunk() {
+        let d = algorithm1(0.9, 0.1, 0.95, 8, 8, 16);
+        assert_eq!(d, Decision::Grow(8), "clamped by last allocation");
+        let d2 = algorithm1(0.9, 0.1, 0.95, 8, 32, 16);
+        assert_eq!(d2, Decision::Grow(16), "clamped by max allocation");
+        // First window (last_miss_rate sentinel 1.0) always grows.
+        assert_eq!(algorithm1(0.99, 0.1, 1.0, 8, 8, 16), Decision::Grow(8));
+    }
+
+    #[test]
+    fn compulsory_miss_thrasher_stops_growing() {
+        // A pointer-chasing partition whose miss rate does not improve
+        // with added molecules must not monopolize the free pool.
+        assert_eq!(algorithm1(0.68, 0.1, 0.68, 64, 16, 16), Decision::Hold);
+        assert_eq!(algorithm1(0.68, 0.1, 0.69, 64, 16, 16), Decision::Hold);
+        // A real capacity-bound thrasher (clear improvement) still grows.
+        assert_eq!(algorithm1(0.60, 0.1, 0.70, 64, 16, 16), Decision::Grow(16));
+    }
+
+    #[test]
+    fn phase_change_unlocks_growth() {
+        // A partition that was comfortably at its goal (last window 0.08)
+        // and suddenly thrashes (0.95) entered a larger phase: grow, even
+        // though 0.95 is no "improvement" over 0.08.
+        assert_eq!(algorithm1(0.95, 0.1, 0.08, 4, 4, 16), Decision::Grow(4));
+        // A mild worsening inside the noise band stays held.
+        assert_eq!(algorithm1(0.68, 0.1, 0.63, 64, 16, 16), Decision::Hold);
+    }
+
+    #[test]
+    fn below_goal_withdraws_conservatively() {
+        // current=32, mr=0.05, goal=0.1: sqrt(16) = 4.
+        assert_eq!(algorithm1(0.05, 0.1, 0.2, 32, 4, 16), Decision::Shrink(4));
+        // Near-zero miss rate: ceil keeps the withdrawal at one molecule.
+        assert_eq!(algorithm1(0.0001, 0.1, 0.2, 16, 4, 16), Decision::Shrink(1));
+        // Exactly zero: an idle window withdraws nothing.
+        assert_eq!(algorithm1(0.0, 0.1, 0.2, 16, 4, 16), Decision::Hold);
+    }
+
+    #[test]
+    fn shrink_never_empties_partition() {
+        // current=2, mr=0.05, goal=0.1: clearly below goal -> shrink to
+        // 1, never to 0.
+        match algorithm1(0.05, 0.1, 0.5, 2, 1, 16) {
+            Decision::Shrink(n) => assert!(n <= 1),
+            other => panic!("expected shrink, got {other:?}"),
+        }
+        assert_eq!(algorithm1(0.05, 0.1, 0.5, 1, 1, 16), Decision::Hold);
+    }
+
+    #[test]
+    fn dead_band_under_goal_holds() {
+        // 0.09 is below the 0.10 goal but inside the dead band.
+        assert_eq!(algorithm1(0.09, 0.1, 0.5, 32, 4, 16), Decision::Hold);
+        // 0.05 is clearly below (0.05 < 0.067): withdraws.
+        assert!(matches!(
+            algorithm1(0.05, 0.1, 0.5, 32, 4, 16),
+            Decision::Shrink(_)
+        ));
+    }
+
+    #[test]
+    fn improving_above_goal_grows_toward_linear_target() {
+        // current=10, mr=0.3, goal=0.1 -> target 30, grow by 16 (cap).
+        assert_eq!(algorithm1(0.3, 0.1, 0.4, 10, 4, 16), Decision::Grow(16));
+        // Small gap: target 12, grow by 2.
+        assert_eq!(algorithm1(0.12, 0.1, 0.2, 10, 4, 16), Decision::Grow(2));
+    }
+
+    #[test]
+    fn stagnant_above_goal_holds() {
+        assert_eq!(algorithm1(0.3, 0.1, 0.3, 10, 4, 16), Decision::Hold);
+        assert_eq!(algorithm1(0.3, 0.1, 0.2, 10, 4, 16), Decision::Hold);
+    }
+
+    #[test]
+    fn default_policy_reports_trigger_scheme_label() {
+        let p = PaperAlgorithm1::new(ResizeTrigger::GlobalAdaptive {
+            initial_period: 100,
+        });
+        assert_eq!(p.name(), "paper-algorithm1");
+        assert_eq!(p.trigger_label(), "global-adaptive");
+        let c = PaperAlgorithm1::new(ResizeTrigger::Constant { period: 5 });
+        assert_eq!(c.trigger_label(), "constant");
+    }
+
+    #[test]
+    fn default_policy_decides_exactly_like_the_free_function() {
+        let mut p = PaperAlgorithm1::new(ResizeTrigger::Constant { period: 5 });
+        let inputs = DecisionInputs {
+            asid: Asid::new(1),
+            window_accesses: 100,
+            window_miss_rate: 0.3,
+            last_miss_rate: 0.4,
+            goal: 0.1,
+            current: 10,
+            last_allocation: 4,
+            max_allocation: 16,
+            free_molecules: 99,
+        };
+        assert_eq!(p.decide(&inputs), algorithm1(0.3, 0.1, 0.4, 10, 4, 16));
+    }
+}

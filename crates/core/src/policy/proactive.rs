@@ -1,0 +1,145 @@
+//! Com-CAS-style proactive sizing from declared working-set phases
+//! (PAPERS.md): the trace carries working-set-size annotations, the
+//! policy sizes each hinted partition *directly to* its declared
+//! footprint instead of feeling its way there through miss-rate
+//! feedback. Unhinted partitions fall back to Algorithm 1.
+
+use super::paper::{algorithm1, Decision};
+use super::trigger::{ResizeController, ResizeEvent, ResizeTrigger};
+use super::{DecisionInputs, ResizePolicy};
+use molcache_trace::Asid;
+use std::collections::BTreeMap;
+
+/// Sizes partitions from compiler/runtime-declared working-set hints
+/// delivered via [`ResizePolicy::phase_hint`] (in molecules; see
+/// `MolecularCache::note_phase_hint` for the bytes → molecules
+/// conversion and `molcache_trace::annotate` for the trace-side
+/// markers). Runs on a constant period: hints, not miss-rate feedback,
+/// carry the phase information, so there is nothing for the period to
+/// adapt on.
+#[derive(Debug, Clone)]
+pub struct ProactiveHint {
+    controller: ResizeController,
+    hints: BTreeMap<Asid, usize>,
+}
+
+impl ProactiveHint {
+    /// Creates the policy with a constant evaluation period.
+    pub fn new(period: u64) -> Self {
+        ProactiveHint {
+            controller: ResizeController::new(ResizeTrigger::Constant {
+                period: period.max(1),
+            }),
+            hints: BTreeMap::new(),
+        }
+    }
+
+    /// The currently declared working set of `asid`, if any.
+    pub fn hint(&self, asid: Asid) -> Option<usize> {
+        self.hints.get(&asid).copied()
+    }
+}
+
+impl ResizePolicy for ProactiveHint {
+    fn name(&self) -> &'static str {
+        "proactive-hint"
+    }
+
+    fn register_app(&mut self, _asid: Asid) {}
+
+    fn on_access(&mut self, asid: Asid) -> ResizeEvent {
+        self.controller.on_access(asid)
+    }
+
+    fn decide(&mut self, inputs: &DecisionInputs) -> Decision {
+        match self.hints.get(&inputs.asid) {
+            Some(&declared) => {
+                let target = declared.max(1);
+                if target > inputs.current {
+                    // March toward the declared footprint, one capped
+                    // chunk per round (the mechanism still clamps to the
+                    // free pool).
+                    Decision::Grow((target - inputs.current).min(inputs.max_allocation))
+                } else if target < inputs.current {
+                    // Never below one molecule, like Algorithm 1.
+                    let excess = inputs.current - target;
+                    let cap = inputs.current.saturating_sub(1);
+                    if cap == 0 {
+                        Decision::Hold
+                    } else {
+                        Decision::Shrink(excess.min(cap))
+                    }
+                } else {
+                    Decision::Hold
+                }
+            }
+            // No declaration for this app: behave like the paper.
+            None => algorithm1(
+                inputs.window_miss_rate,
+                inputs.goal,
+                inputs.last_miss_rate,
+                inputs.current,
+                inputs.last_allocation,
+                inputs.max_allocation,
+            ),
+        }
+    }
+
+    fn phase_hint(&mut self, asid: Asid, target_molecules: usize) {
+        self.hints.insert(asid, target_molecules.max(1));
+    }
+
+    fn clone_box(&self) -> Box<dyn ResizePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(asid: u16, current: usize) -> DecisionInputs {
+        DecisionInputs {
+            asid: Asid::new(asid),
+            window_accesses: 1_000,
+            window_miss_rate: 0.30,
+            last_miss_rate: 0.40,
+            goal: 0.10,
+            current,
+            last_allocation: 4,
+            max_allocation: 16,
+            free_molecules: 50,
+        }
+    }
+
+    #[test]
+    fn hinted_partition_marches_to_declared_size() {
+        let mut p = ProactiveHint::new(100);
+        p.phase_hint(Asid::new(1), 40);
+        // 10 -> 40 wants 30, capped at the 16-molecule chunk.
+        assert_eq!(p.decide(&inputs(1, 10)), Decision::Grow(16));
+        // At the target: hold, regardless of miss rate.
+        assert_eq!(p.decide(&inputs(1, 40)), Decision::Hold);
+        // Phase shrank: give the excess back at once.
+        p.phase_hint(Asid::new(1), 8);
+        assert_eq!(p.decide(&inputs(1, 40)), Decision::Shrink(32));
+    }
+
+    #[test]
+    fn shrink_hint_never_empties_partition() {
+        let mut p = ProactiveHint::new(100);
+        p.phase_hint(Asid::new(1), 0); // degenerate hint clamps to 1
+        assert_eq!(p.decide(&inputs(1, 3)), Decision::Shrink(2));
+        assert_eq!(p.decide(&inputs(1, 1)), Decision::Hold);
+    }
+
+    #[test]
+    fn unhinted_partition_follows_algorithm1() {
+        let mut p = ProactiveHint::new(100);
+        p.phase_hint(Asid::new(2), 64);
+        assert_eq!(
+            p.decide(&inputs(1, 10)),
+            algorithm1(0.30, 0.10, 0.40, 10, 4, 16)
+        );
+    }
+}

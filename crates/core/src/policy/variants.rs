@@ -1,0 +1,166 @@
+//! The global-vs-per-app goal variant pair: both run Algorithm 1's
+//! decision kernel, but disagree about *whose* goal a partition is judged
+//! against and which timer scheme paces the rounds (§3.4's "global
+//! adaptive" vs "per-application adaptive" discussion, taken all the way
+//! to the decision itself).
+
+use super::paper::{algorithm1, Decision};
+use super::trigger::{AdaptScope, ResizeController, ResizeEvent, ResizeTrigger};
+use super::{DecisionInputs, ResizePolicy};
+use molcache_trace::Asid;
+
+/// Judges every partition against one cache-wide goal (the
+/// configuration's default), ignoring per-application overrides, on the
+/// global-adaptive timer. The whole cache converges toward a uniform
+/// miss rate: simple, fair by construction, but unable to honor
+/// per-tenant SLAs.
+#[derive(Debug, Clone)]
+pub struct GlobalGoal {
+    goal: f64,
+    controller: ResizeController,
+}
+
+impl GlobalGoal {
+    /// Creates the policy with the cache-wide goal and initial period.
+    pub fn new(goal: f64, initial_period: u64) -> Self {
+        GlobalGoal {
+            goal,
+            controller: ResizeController::new(ResizeTrigger::GlobalAdaptive { initial_period }),
+        }
+    }
+
+    /// The single goal every partition is judged against.
+    pub fn goal(&self) -> f64 {
+        self.goal
+    }
+}
+
+impl ResizePolicy for GlobalGoal {
+    fn name(&self) -> &'static str {
+        "global-goal"
+    }
+
+    fn register_app(&mut self, asid: Asid) {
+        self.controller.register_app(asid);
+    }
+
+    fn on_access(&mut self, asid: Asid) -> ResizeEvent {
+        self.controller.on_access(asid)
+    }
+
+    fn decide(&mut self, inputs: &DecisionInputs) -> Decision {
+        algorithm1(
+            inputs.window_miss_rate,
+            self.goal,
+            inputs.last_miss_rate,
+            inputs.current,
+            inputs.last_allocation,
+            inputs.max_allocation,
+        )
+    }
+
+    fn adapt(&mut self, scope: AdaptScope, miss_rate: f64, _goal: f64) {
+        // The period, like the decision, tracks the uniform goal.
+        self.controller.adapt(scope, miss_rate, self.goal);
+    }
+
+    fn clone_box(&self) -> Box<dyn ResizePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Judges each partition against its own goal on the *per-application*
+/// adaptive timer: every application earns its own evaluation cadence,
+/// so a converged tenant is left alone while a struggling one is
+/// re-examined at 10x the rate. The decision kernel is Algorithm 1
+/// unchanged — this isolates the paper's trigger-scheme question from
+/// the goal question.
+#[derive(Debug, Clone)]
+pub struct PerAppGoal {
+    controller: ResizeController,
+}
+
+impl PerAppGoal {
+    /// Creates the policy with the per-application initial period.
+    pub fn new(initial_period: u64) -> Self {
+        PerAppGoal {
+            controller: ResizeController::new(ResizeTrigger::PerAppAdaptive { initial_period }),
+        }
+    }
+}
+
+impl ResizePolicy for PerAppGoal {
+    fn name(&self) -> &'static str {
+        "per-app-goal"
+    }
+
+    fn register_app(&mut self, asid: Asid) {
+        self.controller.register_app(asid);
+    }
+
+    fn on_access(&mut self, asid: Asid) -> ResizeEvent {
+        self.controller.on_access(asid)
+    }
+
+    fn decide(&mut self, inputs: &DecisionInputs) -> Decision {
+        algorithm1(
+            inputs.window_miss_rate,
+            inputs.goal,
+            inputs.last_miss_rate,
+            inputs.current,
+            inputs.last_allocation,
+            inputs.max_allocation,
+        )
+    }
+
+    fn adapt(&mut self, scope: AdaptScope, miss_rate: f64, goal: f64) {
+        self.controller.adapt(scope, miss_rate, goal);
+    }
+
+    fn clone_box(&self) -> Box<dyn ResizePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(goal: f64) -> DecisionInputs {
+        DecisionInputs {
+            asid: Asid::new(1),
+            window_accesses: 1_000,
+            window_miss_rate: 0.30,
+            last_miss_rate: 0.40,
+            goal,
+            current: 10,
+            last_allocation: 4,
+            max_allocation: 16,
+            free_molecules: 50,
+        }
+    }
+
+    #[test]
+    fn global_goal_overrides_the_partition_goal() {
+        // Against the partition's own 0.35 goal this window (mr 0.30) is
+        // in the dead band -> Hold; against the cache-wide 0.10 goal it
+        // is improving-above-goal -> Grow.
+        let mut g = GlobalGoal::new(0.10, 100);
+        assert_eq!(g.decide(&inputs(0.35)), Decision::Grow(16));
+        let mut p = PerAppGoal::new(100);
+        assert_eq!(p.decide(&inputs(0.35)), Decision::Hold);
+    }
+
+    #[test]
+    fn variant_triggers_differ() {
+        let a = Asid::new(7);
+        let mut g = GlobalGoal::new(0.1, 2);
+        g.register_app(a);
+        assert_eq!(g.on_access(a), ResizeEvent::None);
+        assert_eq!(g.on_access(a), ResizeEvent::AllPartitions);
+        let mut p = PerAppGoal::new(2);
+        p.register_app(a);
+        assert_eq!(p.on_access(a), ResizeEvent::None);
+        assert_eq!(p.on_access(a), ResizeEvent::Partition(a));
+    }
+}

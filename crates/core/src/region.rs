@@ -128,6 +128,11 @@ impl Region {
         self.goal
     }
 
+    /// Changes the miss-rate goal at runtime (per-tenant SLA update).
+    pub(crate) fn set_goal(&mut self, goal: f64) {
+        self.goal = goal;
+    }
+
     /// Molecules currently in the region.
     pub fn size(&self) -> usize {
         self.rows.iter().map(Vec::len).sum()

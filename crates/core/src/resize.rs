@@ -1,312 +1,29 @@
-//! Dynamic partition resizing (§3.4 and Algorithm 1).
+//! Resize *mechanism*: region allocation and the resize driver (§3.4).
+//!
+//! The decision half — triggers, Algorithm 1, and the alternative
+//! policies — lives in [`crate::policy`]; this module is the plumbing
+//! that applies whatever the installed [`ResizePolicy`] decides:
+//! granting molecules from the free pools, withdrawing them through the
+//! one shared shrink path, and closing observation windows. Every
+//! membership change made here bumps the memo/search-list structural
+//! generation via `note_structural_change`, no matter which policy asked
+//! for it.
+//!
+//! The decision-layer names are re-exported so long-standing paths like
+//! `molcache_core::resize::algorithm1` keep working.
 
-use molcache_trace::Asid;
-use std::collections::BTreeMap;
-
-/// When resizing is evaluated (§3.4, "When to add?").
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ResizeTrigger {
-    /// Resize every `period` serviced addresses, always.
-    Constant {
-        /// Addresses between resize rounds.
-        period: u64,
-    },
-    /// Adaptive period driven by the *overall* cache miss rate: doubled
-    /// when the cache meets the goal, cut to 10 % when it does not. The
-    /// paper finds this works best for small tiles.
-    GlobalAdaptive {
-        /// First resize happens after this many addresses.
-        initial_period: u64,
-    },
-    /// Adaptive period per application, driven by that application's
-    /// miss rate. The paper finds this works better for large tiles
-    /// (>= 2 MB).
-    PerAppAdaptive {
-        /// First per-application resize after this many addresses.
-        initial_period: u64,
-    },
-}
-
-impl ResizeTrigger {
-    /// Stable lowercase name, used to tag telemetry resize records.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ResizeTrigger::Constant { .. } => "constant",
-            ResizeTrigger::GlobalAdaptive { .. } => "global-adaptive",
-            ResizeTrigger::PerAppAdaptive { .. } => "per-app-adaptive",
-        }
-    }
-
-    fn initial_period(&self) -> u64 {
-        match *self {
-            ResizeTrigger::Constant { period } => period,
-            ResizeTrigger::GlobalAdaptive { initial_period }
-            | ResizeTrigger::PerAppAdaptive { initial_period } => initial_period,
-        }
-    }
-}
-
-/// What a trigger fires on one access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ResizeEvent {
-    /// No resize due.
-    None,
-    /// Resize every partition (constant / global-adaptive schemes).
-    AllPartitions,
-    /// Resize just this application's partition (per-app adaptive).
-    Partition(Asid),
-}
-
-/// Tracks resize countdowns and adapts periods.
-#[derive(Debug, Clone)]
-pub struct ResizeController {
-    trigger: ResizeTrigger,
-    period: u64,
-    countdown: u64,
-    per_app: BTreeMap<Asid, AppTimer>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct AppTimer {
-    period: u64,
-    countdown: u64,
-}
-
-/// Period adaptation bounds: the period never shrinks below 1/10 of the
-/// initial value nor grows beyond 16x (keeps Algorithm 1's x0.1 / x2
-/// updates from degenerating).
-const MIN_PERIOD_FRACTION: u64 = 10;
-const MAX_PERIOD_FACTOR: u64 = 16;
-
-impl ResizeController {
-    /// Creates a controller for the given trigger scheme.
-    pub fn new(trigger: ResizeTrigger) -> Self {
-        let period = trigger.initial_period().max(1);
-        ResizeController {
-            trigger,
-            period,
-            countdown: period,
-            per_app: BTreeMap::new(),
-        }
-    }
-
-    /// The scheme in use.
-    pub fn trigger(&self) -> ResizeTrigger {
-        self.trigger
-    }
-
-    /// Current global period (constant / global-adaptive schemes).
-    pub fn period(&self) -> u64 {
-        self.period
-    }
-
-    /// Current period of one application (per-app scheme); `None` if the
-    /// application has not been seen.
-    pub fn app_period(&self, asid: Asid) -> Option<u64> {
-        self.per_app.get(&asid).map(|t| t.period)
-    }
-
-    /// Registers an application (first access).
-    pub fn register_app(&mut self, asid: Asid) {
-        let initial = self.trigger.initial_period().max(1);
-        self.per_app.entry(asid).or_insert(AppTimer {
-            period: initial,
-            countdown: initial,
-        });
-    }
-
-    /// Advances the counters by one serviced address from `asid` and
-    /// reports whether a resize is due.
-    pub fn on_access(&mut self, asid: Asid) -> ResizeEvent {
-        match self.trigger {
-            ResizeTrigger::Constant { .. } | ResizeTrigger::GlobalAdaptive { .. } => {
-                self.countdown = self.countdown.saturating_sub(1);
-                if self.countdown == 0 {
-                    self.countdown = self.period;
-                    ResizeEvent::AllPartitions
-                } else {
-                    ResizeEvent::None
-                }
-            }
-            ResizeTrigger::PerAppAdaptive { .. } => {
-                self.register_app(asid);
-                let timer = self.per_app.get_mut(&asid).expect("registered above");
-                timer.countdown = timer.countdown.saturating_sub(1);
-                if timer.countdown == 0 {
-                    timer.countdown = timer.period;
-                    ResizeEvent::Partition(asid)
-                } else {
-                    ResizeEvent::None
-                }
-            }
-        }
-    }
-
-    /// Applies Algorithm 1's period update after a global resize round:
-    /// `x2` when the overall miss rate meets the goal, `x0.1` otherwise.
-    /// No-op for the constant scheme.
-    pub fn adapt_global(&mut self, overall_miss_rate: f64, goal: f64) {
-        if let ResizeTrigger::GlobalAdaptive { initial_period } = self.trigger {
-            self.period = adapt_period(self.period, initial_period, overall_miss_rate, goal);
-            self.countdown = self.countdown.min(self.period);
-        }
-    }
-
-    /// Period update after a per-application resize.
-    pub fn adapt_app(&mut self, asid: Asid, miss_rate: f64, goal: f64) {
-        if let ResizeTrigger::PerAppAdaptive { initial_period } = self.trigger {
-            if let Some(timer) = self.per_app.get_mut(&asid) {
-                timer.period = adapt_period(timer.period, initial_period, miss_rate, goal);
-                timer.countdown = timer.countdown.min(timer.period);
-            }
-        }
-    }
-}
-
-/// Hysteresis band of the period adaptation: a miss rate between the
-/// goal and `goal * PERIOD_HYSTERESIS` is neither "well within acceptable
-/// limits" (Algorithm 1's doubling case) nor "higher than expected" (the
-/// 10% case), so the period holds. Without the band, a partition hovering
-/// just above its goal is resized at the minimum period forever, and the
-/// resulting allocate/withdraw churn itself keeps the miss rate inflated.
-pub const PERIOD_HYSTERESIS: f64 = 1.5;
-
-fn adapt_period(period: u64, initial: u64, miss_rate: f64, goal: f64) -> u64 {
-    let initial = initial.max(1);
-    let next = if miss_rate < goal {
-        period.saturating_mul(2)
-    } else if miss_rate > goal * PERIOD_HYSTERESIS {
-        (period / 10).max(1)
-    } else {
-        period
-    };
-    next.clamp(
-        (initial / MIN_PERIOD_FRACTION).max(1),
-        initial.saturating_mul(MAX_PERIOD_FACTOR),
-    )
-}
-
-/// Algorithm 1's per-partition decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Decision {
-    /// Grow the partition by this many molecules (subject to free-pool
-    /// availability).
-    Grow(usize),
-    /// Withdraw this many molecules.
-    Shrink(usize),
-    /// Leave the partition unchanged.
-    Hold,
-}
-
-/// Minimum absolute miss-rate improvement a thrashing partition must
-/// show for its last growth chunk before it is granted another one.
-/// Algorithm 1's clamp (`max_allocation = last_allocation`) damps
-/// thrash-growth; this makes the damping explicit, so an application with
-/// pure compulsory misses (the paper's `mcf`) cannot convert the >50 %
-/// branch into an unbounded land-grab "at the cost of performance of
-/// other applications" (§3.4). Capacity-bound applications keep growing:
-/// with Random/Randy replacement, added molecules lower their miss rate
-/// window over window.
-pub const GROWTH_IMPROVEMENT_EPS: f64 = 0.02;
-
-/// Absolute window-to-window miss-rate *increase* that is read as a phase
-/// change (§3.4's motivation for periodic resizing: working sets move).
-/// A thrashing partition whose miss rate jumped this much since the last
-/// window is granted growth even though it is not "improving" — without
-/// this, a partition shrunk during a small-working-set phase would be
-/// dead-locked at miss rate ≈ 1 when the program enters a larger phase
-/// (stagnant-high is indistinguishable from compulsory-bound otherwise).
-pub const PHASE_CHANGE_EPS: f64 = 0.10;
-
-/// Fraction of the goal below which a partition is considered clearly
-/// over-provisioned and starts giving molecules back. Window miss rates
-/// are noisy; withdrawing on *any* below-goal sample lets a partition
-/// that has converged onto its goal bleed molecules to neighbours one
-/// noise sample at a time.
-pub const SHRINK_MARGIN: f64 = 0.67;
-
-/// Algorithm 1 (verbatim structure from the paper, with the two
-/// `resize()` call sites interpreted as: grow *toward* the linear-model
-/// target size, with the growth chunk capped by `max_allocation` and by
-/// the most recent successful allocation when the partition is
-/// thrashing).
-///
-/// * `miss_rate > 50 %` — partition is drowning: grow by a full chunk
-///   (`max_allocation`, but never more than the last allocation granted,
-///   per the paper's clamp) — provided the previous chunk actually
-///   improved the miss rate (see [`GROWTH_IMPROVEMENT_EPS`]).
-/// * `miss_rate < goal` — partition is over-provisioned: withdraw
-///   `sqrt(current * miss_rate / goal)` molecules ("withdraw molecules
-///   more slowly than you add — conservative").
-/// * `miss_rate < last_miss_rate` — improving but above goal: the linear
-///   cache-size/miss-rate model says the partition needs
-///   `current * miss_rate / goal` molecules; grow toward that, capped.
-/// * otherwise — hold (growth is not paying off).
-///
-/// ```
-/// use molcache_core::resize::{algorithm1, Decision};
-///
-/// // Improving but above a 10% goal with 10 molecules: the linear model
-/// // wants 10 * 0.30 / 0.10 = 30, so grow by 16 (the chunk cap).
-/// assert_eq!(algorithm1(0.30, 0.10, 0.40, 10, 4, 16), Decision::Grow(16));
-/// // Clearly below goal: withdraw sqrt(32 * 0.05 / 0.10) = 4.
-/// assert_eq!(algorithm1(0.05, 0.10, 0.20, 32, 4, 16), Decision::Shrink(4));
-/// ```
-pub fn algorithm1(
-    miss_rate: f64,
-    goal: f64,
-    last_miss_rate: f64,
-    current: usize,
-    last_allocation: usize,
-    max_allocation: usize,
-) -> Decision {
-    debug_assert!(goal > 0.0);
-    if miss_rate > 0.5 {
-        let improving = miss_rate <= last_miss_rate - GROWTH_IMPROVEMENT_EPS;
-        let first_window = last_miss_rate >= 1.0;
-        let phase_change = miss_rate >= last_miss_rate + PHASE_CHANGE_EPS;
-        if improving || first_window || phase_change {
-            let chunk = max_allocation.min(last_allocation.max(1));
-            Decision::Grow(chunk)
-        } else {
-            // Stagnant-high: growth is not converting into hits
-            // (compulsory-miss bound) — stop feeding this partition.
-            Decision::Hold
-        }
-    } else if miss_rate < goal * SHRINK_MARGIN {
-        // Rounded *up*: a partition clearly below goal always gives back
-        // at least one molecule (with miss_rate == 0 exactly, sqrt is 0
-        // and the ceil stays 0 — a perfectly idle window holds).
-        let temp = ((current as f64 * miss_rate) / goal).sqrt().ceil() as usize;
-        if temp == 0 || current <= 1 {
-            Decision::Hold
-        } else {
-            Decision::Shrink(temp.min(current - 1))
-        }
-    } else if miss_rate < goal {
-        // Inside the dead band just under the goal: converged, hold.
-        // Withdrawing here would only churn data and hand molecules to
-        // whichever neighbour's window noise asks loudest.
-        Decision::Hold
-    } else if miss_rate < last_miss_rate {
-        let target = ((current as f64 * miss_rate) / goal).ceil() as usize;
-        if target <= current {
-            Decision::Hold
-        } else {
-            Decision::Grow((target - current).min(max_allocation))
-        }
-    } else {
-        Decision::Hold
-    }
-}
-
-// ---- region allocation and the resize driver ---------------------------
+pub use crate::policy::{
+    adapt_period, algorithm1, AdaptScope, Decision, ResizeController, ResizeEvent, ResizeTrigger,
+    GROWTH_IMPROVEMENT_EPS, PERIOD_HYSTERESIS, PHASE_CHANGE_EPS, SHRINK_MARGIN,
+};
 
 use crate::cache::MolecularCache;
 use crate::config::InitialAllocation;
 use crate::ids::ClusterId;
+use crate::policy::{DecisionInputs, PartitionWindow};
 use crate::region::Region;
 use molcache_telemetry::ResizeKind;
+use molcache_trace::Asid;
 
 impl MolecularCache {
     /// Creates `asid`'s region on first contact ("Ground Zero", §3.4):
@@ -341,7 +58,7 @@ impl MolecularCache {
         .max(1);
         let granted = self.grant_molecules(&mut region, want);
         region.note_allocation(granted.max(1));
-        self.resizer.register_app(asid);
+        self.resize_policy.register_app(asid);
         self.regions.insert(asid, region);
     }
 
@@ -388,33 +105,51 @@ impl MolecularCache {
             // Idle partition: nothing to learn this window.
             return window;
         }
-        let mr = region.window_miss_rate();
-        let goal = region.goal();
-        let last = region.last_miss_rate();
-        let current = region.size();
-        let last_alloc = region.last_allocation();
-        let decision = algorithm1(
-            mr,
-            goal,
-            last,
-            current,
-            last_alloc,
-            self.cfg.max_allocation(),
-        );
+        let inputs = DecisionInputs {
+            asid,
+            window_accesses: region.window_accesses(),
+            window_miss_rate: region.window_miss_rate(),
+            last_miss_rate: region.last_miss_rate(),
+            goal: region.goal(),
+            current: region.size(),
+            last_allocation: region.last_allocation(),
+            max_allocation: self.cfg.max_allocation(),
+            free_molecules: self.free_molecules(),
+        };
+        let decision = self.resize_policy.decide(&inputs);
+        let (mr, goal, current) = (inputs.window_miss_rate, inputs.goal, inputs.current);
         match decision {
             Decision::Grow(n) => {
                 let mut region = self.regions.remove(&asid).expect("present");
                 let granted = self.grant_molecules(&mut region, n);
                 region.note_allocation(granted);
                 self.regions.insert(asid, region);
-                self.publish_resize(asid, ResizeKind::Grow, n, granted, current, mr, goal);
+                self.publish_resize(
+                    asid,
+                    ResizeKind::Grow,
+                    n,
+                    granted,
+                    current,
+                    mr,
+                    goal,
+                    &inputs,
+                );
             }
             Decision::Shrink(n) => {
                 // The one shrink path, shared with the lifecycle API so
                 // goal-driven and tenant-driven withdrawal bump the memo
                 // generation identically (see `crate::lifecycle`).
                 let removed = self.shrink_region(asid, n);
-                self.publish_resize(asid, ResizeKind::Shrink, n, removed, current, mr, goal);
+                self.publish_resize(
+                    asid,
+                    ResizeKind::Shrink,
+                    n,
+                    removed,
+                    current,
+                    mr,
+                    goal,
+                    &inputs,
+                );
             }
             Decision::Hold => {}
         }
@@ -432,6 +167,24 @@ impl MolecularCache {
         self.resize_rounds += 1;
         self.resize_partitions_touched += self.regions.len() as u64;
         let asids: Vec<Asid> = self.regions.keys().copied().collect();
+        // Hand arbitrating policies every partition's closing window
+        // before any per-partition decision of this round (a no-op for
+        // the default policy).
+        let windows: Vec<PartitionWindow> = asids
+            .iter()
+            .map(|asid| {
+                let r = &self.regions[asid];
+                PartitionWindow {
+                    asid: *asid,
+                    window_accesses: r.window_accesses(),
+                    window_miss_rate: r.window_miss_rate(),
+                    last_miss_rate: r.last_miss_rate(),
+                    goal: r.goal(),
+                    size: r.size(),
+                }
+            })
+            .collect();
+        self.resize_policy.begin_round(&windows);
         let mut total_accesses = 0u64;
         let mut total_misses = 0u64;
         let mut weighted_goal = 0.0;
@@ -445,7 +198,8 @@ impl MolecularCache {
         if total_accesses > 0 {
             let overall_mr = total_misses as f64 / total_accesses as f64;
             let goal = weighted_goal / total_accesses as f64;
-            self.resizer.adapt_global(overall_mr, goal);
+            self.resize_policy
+                .adapt(AdaptScope::Global, overall_mr, goal);
         }
     }
 
@@ -460,156 +214,7 @@ impl MolecularCache {
         let had_window = region.window_accesses() > 0;
         self.resize_partition(asid);
         if had_window {
-            self.resizer.adapt_app(asid, mr, goal);
+            self.resize_policy.adapt(AdaptScope::App(asid), mr, goal);
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn thrashing_partition_grows_by_chunk() {
-        let d = algorithm1(0.9, 0.1, 0.95, 8, 8, 16);
-        assert_eq!(d, Decision::Grow(8), "clamped by last allocation");
-        let d2 = algorithm1(0.9, 0.1, 0.95, 8, 32, 16);
-        assert_eq!(d2, Decision::Grow(16), "clamped by max allocation");
-        // First window (last_miss_rate sentinel 1.0) always grows.
-        assert_eq!(algorithm1(0.99, 0.1, 1.0, 8, 8, 16), Decision::Grow(8));
-    }
-
-    #[test]
-    fn compulsory_miss_thrasher_stops_growing() {
-        // A pointer-chasing partition whose miss rate does not improve
-        // with added molecules must not monopolize the free pool.
-        assert_eq!(algorithm1(0.68, 0.1, 0.68, 64, 16, 16), Decision::Hold);
-        assert_eq!(algorithm1(0.68, 0.1, 0.69, 64, 16, 16), Decision::Hold);
-        // A real capacity-bound thrasher (clear improvement) still grows.
-        assert_eq!(algorithm1(0.60, 0.1, 0.70, 64, 16, 16), Decision::Grow(16));
-    }
-
-    #[test]
-    fn phase_change_unlocks_growth() {
-        // A partition that was comfortably at its goal (last window 0.08)
-        // and suddenly thrashes (0.95) entered a larger phase: grow, even
-        // though 0.95 is no "improvement" over 0.08.
-        assert_eq!(algorithm1(0.95, 0.1, 0.08, 4, 4, 16), Decision::Grow(4));
-        // A mild worsening inside the noise band stays held.
-        assert_eq!(algorithm1(0.68, 0.1, 0.63, 64, 16, 16), Decision::Hold);
-    }
-
-    #[test]
-    fn below_goal_withdraws_conservatively() {
-        // current=32, mr=0.05, goal=0.1: sqrt(16) = 4.
-        assert_eq!(algorithm1(0.05, 0.1, 0.2, 32, 4, 16), Decision::Shrink(4));
-        // Near-zero miss rate: ceil keeps the withdrawal at one molecule.
-        assert_eq!(algorithm1(0.0001, 0.1, 0.2, 16, 4, 16), Decision::Shrink(1));
-        // Exactly zero: an idle window withdraws nothing.
-        assert_eq!(algorithm1(0.0, 0.1, 0.2, 16, 4, 16), Decision::Hold);
-    }
-
-    #[test]
-    fn shrink_never_empties_partition() {
-        // current=2, mr=0.05, goal=0.1: clearly below goal -> shrink to
-        // 1, never to 0.
-        match algorithm1(0.05, 0.1, 0.5, 2, 1, 16) {
-            Decision::Shrink(n) => assert!(n <= 1),
-            other => panic!("expected shrink, got {other:?}"),
-        }
-        assert_eq!(algorithm1(0.05, 0.1, 0.5, 1, 1, 16), Decision::Hold);
-    }
-
-    #[test]
-    fn dead_band_under_goal_holds() {
-        // 0.09 is below the 0.10 goal but inside the dead band.
-        assert_eq!(algorithm1(0.09, 0.1, 0.5, 32, 4, 16), Decision::Hold);
-        // 0.05 is clearly below (0.05 < 0.067): withdraws.
-        assert!(matches!(
-            algorithm1(0.05, 0.1, 0.5, 32, 4, 16),
-            Decision::Shrink(_)
-        ));
-    }
-
-    #[test]
-    fn improving_above_goal_grows_toward_linear_target() {
-        // current=10, mr=0.3, goal=0.1 -> target 30, grow by 16 (cap).
-        assert_eq!(algorithm1(0.3, 0.1, 0.4, 10, 4, 16), Decision::Grow(16));
-        // Small gap: target 12, grow by 2.
-        assert_eq!(algorithm1(0.12, 0.1, 0.2, 10, 4, 16), Decision::Grow(2));
-    }
-
-    #[test]
-    fn stagnant_above_goal_holds() {
-        assert_eq!(algorithm1(0.3, 0.1, 0.3, 10, 4, 16), Decision::Hold);
-        assert_eq!(algorithm1(0.3, 0.1, 0.2, 10, 4, 16), Decision::Hold);
-    }
-
-    #[test]
-    fn constant_trigger_fires_periodically() {
-        let mut c = ResizeController::new(ResizeTrigger::Constant { period: 3 });
-        let a = Asid::new(1);
-        assert_eq!(c.on_access(a), ResizeEvent::None);
-        assert_eq!(c.on_access(a), ResizeEvent::None);
-        assert_eq!(c.on_access(a), ResizeEvent::AllPartitions);
-        assert_eq!(c.on_access(a), ResizeEvent::None);
-        // Constant scheme ignores adaptation.
-        c.adapt_global(0.9, 0.1);
-        assert_eq!(c.period(), 3);
-    }
-
-    #[test]
-    fn period_holds_inside_hysteresis_band() {
-        let mut c = ResizeController::new(ResizeTrigger::GlobalAdaptive {
-            initial_period: 100,
-        });
-        // Just above goal (0.12 vs 0.10): neither doubling nor slashing.
-        c.adapt_global(0.12, 0.1);
-        assert_eq!(c.period(), 100);
-        // Well above the band: slashed.
-        c.adapt_global(0.16, 0.1);
-        assert_eq!(c.period(), 10);
-    }
-
-    #[test]
-    fn global_adaptive_halves_and_doubles() {
-        let mut c = ResizeController::new(ResizeTrigger::GlobalAdaptive {
-            initial_period: 100,
-        });
-        c.adapt_global(0.5, 0.1); // missing the goal: x0.1
-        assert_eq!(c.period(), 10);
-        c.adapt_global(0.05, 0.1); // meeting: x2
-        assert_eq!(c.period(), 20);
-        // Lower clamp at initial/10.
-        c.adapt_global(0.5, 0.1);
-        c.adapt_global(0.5, 0.1);
-        assert_eq!(c.period(), 10);
-        // Upper clamp at 16x initial.
-        for _ in 0..12 {
-            c.adapt_global(0.01, 0.1);
-        }
-        assert_eq!(c.period(), 1600);
-    }
-
-    #[test]
-    fn per_app_timers_are_independent() {
-        let mut c = ResizeController::new(ResizeTrigger::PerAppAdaptive { initial_period: 2 });
-        let a = Asid::new(1);
-        let b = Asid::new(2);
-        assert_eq!(c.on_access(a), ResizeEvent::None);
-        assert_eq!(c.on_access(b), ResizeEvent::None);
-        assert_eq!(c.on_access(a), ResizeEvent::Partition(a));
-        assert_eq!(c.on_access(b), ResizeEvent::Partition(b));
-        c.adapt_app(a, 0.01, 0.1);
-        assert_eq!(c.app_period(a), Some(4));
-        assert_eq!(c.app_period(b), Some(2));
-    }
-
-    #[test]
-    fn per_app_adaptation_requires_registration() {
-        let mut c = ResizeController::new(ResizeTrigger::PerAppAdaptive { initial_period: 10 });
-        // Adapting an unknown app is a no-op, not a panic.
-        c.adapt_app(Asid::new(9), 0.5, 0.1);
-        assert_eq!(c.app_period(Asid::new(9)), None);
     }
 }

@@ -3,16 +3,20 @@
 //!
 //! ```text
 //! molserve [--tenants N] [--threads M] [--shards K] [--refs N]
-//!          [--seed S] [--chunk C] [--verify] [--json]
+//!          [--seed S] [--chunk C] [--policy NAME[,NAME...]]
+//!          [--verify] [--json]
 //! ```
 //!
 //! Defaults: 4 tenants on 4 shards driven by 4 threads, 100k accesses
-//! per tenant. `--verify` re-runs the same traffic on a fresh,
-//! identically configured service with one thread and checks that every
-//! tenant's statistics are bit-identical (exit 1 if not) — the
-//! determinism property the shard-partitioned replay guarantees.
-//! `--json` emits the `molcache-serve-v1` document on stdout instead of
-//! the human-readable tables (pipe into a file for `molstat --serve`).
+//! per tenant. `--policy` assigns resize policies to shards round-robin
+//! (one name = homogeneous, a list = heterogeneous service; see
+//! `molcache_core::policy::POLICY_NAMES`). `--verify` re-runs the same
+//! traffic on a fresh, identically configured service with one thread
+//! and checks that every tenant's statistics are bit-identical (exit 1
+//! if not) — the determinism property the shard-partitioned replay
+//! guarantees, which holds for any policy mix. `--json` emits the
+//! `molcache-serve-v1` document on stdout instead of the human-readable
+//! tables (pipe into a file for `molstat --serve`).
 
 use molcache_core::{MolecularCache, MolecularConfig, RegionPolicy, ResizeTrigger};
 use molcache_serve::{replay, CacheService, ReplayOptions, ReplayReport, ServeDoc};
@@ -26,12 +30,14 @@ struct Args {
     refs: u64,
     seed: u64,
     chunk: usize,
+    policies: Vec<String>,
     verify: bool,
     json: bool,
 }
 
 const USAGE: &str = "usage: molserve [--tenants N] [--threads M] [--shards K] \
-                     [--refs N] [--seed S] [--chunk C] [--verify] [--json]";
+                     [--refs N] [--seed S] [--chunk C] \
+                     [--policy NAME[,NAME...]] [--verify] [--json]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -41,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         refs: 100_000,
         seed: 0xA51D,
         chunk: 256,
+        policies: Vec::new(),
         verify: false,
         json: false,
     };
@@ -59,6 +66,10 @@ fn parse_args() -> Result<Args, String> {
             "--refs" => args.refs = num("--refs")?,
             "--seed" => args.seed = num("--seed")?,
             "--chunk" => args.chunk = num("--chunk")? as usize,
+            "--policy" => {
+                let list = it.next().ok_or("--policy needs a value")?;
+                args.policies = list.split(',').map(str::to_string).collect();
+            }
             "--verify" => args.verify = true,
             "--json" => args.json = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -97,6 +108,24 @@ fn shard_cache(seed: u64, shard: usize) -> MolecularCache {
 
 fn run(args: &Args, traces: &[TenantTrace], threads: usize) -> ReplayReport {
     let service = CacheService::new(args.shards, |i| shard_cache(args.seed, i));
+    if !args.policies.is_empty() {
+        for shard in 0..args.shards {
+            let name = &args.policies[shard % args.policies.len()];
+            let cfg = service.with_shard(shard, |c| c.config().clone());
+            match molcache_core::policy::by_name(name, &cfg) {
+                Some(policy) => service
+                    .set_shard_policy(shard, policy)
+                    .expect("shard index is in range"),
+                None => {
+                    eprintln!(
+                        "molserve: unknown policy '{name}' (known: {})",
+                        molcache_core::policy::POLICY_NAMES.join(", ")
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
     let opts = ReplayOptions {
         threads,
         chunk: args.chunk,
@@ -198,6 +227,12 @@ fn main() -> ExitCode {
             }
         }
     } else {
+        if !args.policies.is_empty() {
+            let map: Vec<String> = (0..args.shards)
+                .map(|s| format!("{s}:{}", args.policies[s % args.policies.len()]))
+                .collect();
+            println!("shard policies  {}", map.join("  "));
+        }
         print_report(&report);
     }
     ExitCode::SUCCESS

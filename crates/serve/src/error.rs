@@ -27,6 +27,8 @@ pub enum ServeError {
         /// The request's ASID.
         request: Asid,
     },
+    /// `set_tenant_goal` was given a miss-rate goal outside `(0, 1)`.
+    InvalidGoal(Asid),
 }
 
 impl fmt::Display for ServeError {
@@ -47,6 +49,13 @@ impl fmt::Display for ServeError {
                 request.raw(),
                 handle.raw()
             ),
+            ServeError::InvalidGoal(asid) => {
+                write!(
+                    f,
+                    "miss-rate goal for asid {} must lie in (0, 1)",
+                    asid.raw()
+                )
+            }
         }
     }
 }

@@ -289,6 +289,50 @@ impl CacheService {
         f(&self.lock_shard(shard))
     }
 
+    /// Installs a resize policy on one shard, making the service
+    /// heterogeneous: each cluster can run its own goal-seeking scheme.
+    /// Tenants already resident on the shard are re-registered with the
+    /// new policy (its adaptation state starts fresh), so this is
+    /// normally done between admission and traffic.
+    pub fn set_shard_policy(
+        &self,
+        shard: usize,
+        policy: Box<dyn molcache_core::ResizePolicy>,
+    ) -> Result<(), ServeError> {
+        if shard >= self.shards.len() {
+            return Err(ServeError::UnknownShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        self.lock_shard(shard).set_resize_policy(policy);
+        Ok(())
+    }
+
+    /// Stable name of the resize policy a shard currently runs.
+    pub fn shard_policy_name(&self, shard: usize) -> Result<&'static str, ServeError> {
+        if shard >= self.shards.len() {
+            return Err(ServeError::UnknownShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        Ok(self.lock_shard(shard).resize_policy_name())
+    }
+
+    /// Adjusts the tenant's miss-rate goal at runtime (its per-tenant
+    /// SLA). The shard's policy sees the new goal from the next resize
+    /// window on. The goal must lie in `(0, 1)`.
+    pub fn set_tenant_goal(&self, handle: &TenantHandle, goal: f64) -> Result<(), ServeError> {
+        let mut cache = self.lock_shard(handle.shard);
+        self.check(handle)?;
+        if cache.set_region_goal(handle.asid, goal) {
+            Ok(())
+        } else {
+            Err(ServeError::InvalidGoal(handle.asid))
+        }
+    }
+
     /// Snapshot of every shard's contention counters.
     pub fn contention(&self) -> Vec<ShardContention> {
         self.shards
@@ -407,6 +451,57 @@ mod tests {
         );
         // The foreign ASID gained no region from the attempt.
         assert!(!svc.with_shard(0, |c| c.has_region(Asid::new(2))));
+    }
+
+    fn policy(name: &str) -> Box<dyn molcache_core::ResizePolicy> {
+        let cfg = MolecularConfig::builder()
+            .molecule_size(1024)
+            .tile_molecules(8)
+            .tiles_per_cluster(2)
+            .clusters(1)
+            .build()
+            .unwrap();
+        molcache_core::policy::by_name(name, &cfg).unwrap()
+    }
+
+    #[test]
+    fn shards_run_independent_policies() {
+        let svc = service(2);
+        assert_eq!(svc.shard_policy_name(0), Ok("paper-algorithm1"));
+        svc.set_shard_policy(1, policy("memshare-pressure"))
+            .unwrap();
+        assert_eq!(svc.shard_policy_name(0), Ok("paper-algorithm1"));
+        assert_eq!(svc.shard_policy_name(1), Ok("memshare-pressure"));
+        assert_eq!(
+            svc.set_shard_policy(7, policy("per-app-goal")),
+            Err(ServeError::UnknownShard {
+                shard: 7,
+                shards: 2
+            })
+        );
+        assert_eq!(
+            svc.shard_policy_name(2),
+            Err(ServeError::UnknownShard {
+                shard: 2,
+                shards: 2
+            })
+        );
+    }
+
+    #[test]
+    fn tenant_goals_adjust_at_runtime() {
+        let svc = service(1);
+        let h = svc.admit(Asid::new(1)).unwrap();
+        svc.set_tenant_goal(&h, 0.25).unwrap();
+        assert_eq!(
+            svc.set_tenant_goal(&h, 1.5),
+            Err(ServeError::InvalidGoal(Asid::new(1)))
+        );
+        svc.revoke(&h).unwrap();
+        assert_eq!(
+            svc.set_tenant_goal(&h, 0.25),
+            Err(ServeError::Revoked(Asid::new(1)))
+        );
     }
 
     #[test]

@@ -118,6 +118,120 @@ fn replay_order_matches_the_serialized_interleaving() {
     }
 }
 
+/// Heterogeneous policies stay deterministic: with shard 0 on the
+/// default `paper-algorithm1` policy and shard 1 on
+/// `memshare-pressure`, per-tenant statistics are bit-identical across
+/// worker thread counts, and the policy assignment itself is stable.
+#[test]
+fn heterogeneous_shard_policies_are_thread_count_invariant() {
+    let traces = tenant_traces(4, 20_000, 0xBEE5);
+    let heterogeneous = |threads| {
+        let svc = service(2, 13);
+        let cfg = svc.with_shard(1, |c| c.config().clone());
+        svc.set_shard_policy(
+            1,
+            molcache_core::policy::by_name("memshare-pressure", &cfg).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(svc.shard_policy_name(0), Ok("paper-algorithm1"));
+        assert_eq!(svc.shard_policy_name(1), Ok("memshare-pressure"));
+        replay(
+            &svc,
+            &traces,
+            ReplayOptions {
+                threads,
+                chunk: 128,
+            },
+        )
+        .unwrap()
+    };
+
+    let single = heterogeneous(1);
+    assert_eq!(single.tenants.len(), 4);
+    for threads in [2, 4, 8] {
+        let multi = heterogeneous(threads);
+        for (a, b) in multi.tenants.iter().zip(&single.tenants) {
+            assert_eq!(
+                a,
+                b,
+                "tenant {} diverged across thread counts under mixed policies",
+                a.asid.raw()
+            );
+        }
+        for (a, b) in multi.shards.iter().zip(&single.shards) {
+            assert_eq!(a.accesses, b.accesses);
+            assert_eq!(a.hits, b.hits);
+        }
+    }
+
+    // Policy isolation: swapping shard 1's policy must leave shard 0's
+    // tenants exactly where an all-default run puts them.
+    let homogeneous = replay(
+        &service(2, 13),
+        &traces,
+        ReplayOptions {
+            threads: 1,
+            chunk: 128,
+        },
+    )
+    .unwrap();
+    // Shard 0 (default policy in both runs) is untouched by the swap.
+    let on_shard0: Vec<_> = single.tenants.iter().filter(|t| t.shard == 0).collect();
+    for t in &on_shard0 {
+        let same = homogeneous
+            .tenants
+            .iter()
+            .find(|h| h.asid == t.asid)
+            .unwrap();
+        assert_eq!(*t, same, "shard-0 tenants must not see shard 1's policy");
+    }
+}
+
+/// Per-tenant runtime goals are part of the deterministic state: the
+/// same SLA adjustment before the same traffic yields bit-identical
+/// statistics whether the shards run serially or concurrently.
+#[test]
+fn runtime_goal_changes_replay_deterministically() {
+    let traces = tenant_traces(3, 12_000, 0x60A1);
+    let requests: Vec<Vec<Request>> = traces
+        .iter()
+        .map(|t| t.accesses.iter().map(|&a| Request::from(a)).collect())
+        .collect();
+
+    // Three tenants on three shards: each tenant is alone on its
+    // cluster, so per-tenant drivers can run on any thread layout.
+    let run = |concurrent: bool| {
+        let svc = service(3, 21);
+        let handles: Vec<_> = traces.iter().map(|t| svc.admit(t.asid).unwrap()).collect();
+        svc.set_tenant_goal(&handles[1], 0.02).unwrap();
+        let drive = |tenant: usize| {
+            for chunk in requests[tenant].chunks(64) {
+                svc.access_batch(&handles[tenant], chunk).unwrap();
+            }
+        };
+        if concurrent {
+            std::thread::scope(|scope| {
+                let drive = &drive;
+                for tenant in 0..traces.len() {
+                    scope.spawn(move || drive(tenant));
+                }
+            });
+        } else {
+            for tenant in 0..traces.len() {
+                drive(tenant);
+            }
+        }
+        handles
+            .iter()
+            .map(|h| svc.tenant_stats(h).unwrap())
+            .collect::<Vec<_>>()
+    };
+
+    let serial = run(false);
+    let threaded = run(true);
+    assert_eq!(serial, threaded, "goal-adjusted replay diverged");
+}
+
 /// Revocation under concurrency: revoke returns only after the shard
 /// lock has been cycled, so a worker hammering the revoked handle never
 /// sees a success afterwards — its first post-revoke acquisition fails.

@@ -103,8 +103,34 @@ impl ResizeKind {
     }
 }
 
+/// The decision-input snapshot a resize policy saw when it made the
+/// call, carried on every [`ResizeRecord`]. Diagnostic only: like
+/// [`EpochActivity::memo_hits`], it is deliberately **excluded** from
+/// the canonical JSON export so telemetry documents stay byte-identical
+/// across the policy-trait refactor; `molstat` renders it instead.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResizeDecisionInputs {
+    /// Accesses the partition served in the closing window.
+    pub window_accesses: u64,
+    /// Miss rate over the closing window.
+    pub window_miss_rate: f64,
+    /// Miss rate of the previous window (1.0 before the first window).
+    pub last_miss_rate: f64,
+    /// The goal the policy judged the partition against.
+    pub goal: f64,
+    /// Allocation in molecules at decision time.
+    pub current: usize,
+    /// Molecules granted or withdrawn by the previous resize.
+    pub last_allocation: usize,
+    /// Per-resize grant cap in force.
+    pub max_allocation: usize,
+    /// Unallocated molecules across the cache at decision time.
+    pub free_molecules: usize,
+}
+
 /// One entry of the structured resize-event log: a non-Hold decision of
-/// Algorithm 1, with what was asked for and what actually happened.
+/// the installed resize policy, with what was asked for and what
+/// actually happened.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResizeRecord {
     /// Global access count when the resize round ran.
@@ -128,6 +154,13 @@ pub struct ResizeRecord {
     pub window_miss_rate: f64,
     /// The partition's miss-rate goal.
     pub goal: f64,
+    /// Stable name of the policy that fired the decision (e.g.
+    /// `paper-algorithm1`). Diagnostic: excluded from the canonical JSON
+    /// export (see [`ResizeDecisionInputs`]).
+    pub policy: String,
+    /// The full input snapshot the policy decided from. Diagnostic:
+    /// excluded from the canonical JSON export.
+    pub inputs: ResizeDecisionInputs,
 }
 
 /// An event on the telemetry bus.

@@ -34,7 +34,9 @@ pub mod recorder;
 pub mod sink;
 
 pub use contention::{imbalance, ShardContention};
-pub use event::{EpochActivity, EpochSample, Event, ResizeKind, ResizeRecord};
+pub use event::{
+    EpochActivity, EpochSample, Event, ResizeDecisionInputs, ResizeKind, ResizeRecord,
+};
 pub use hist::LatencyHistogram;
 pub use recorder::{runs_to_json, runs_to_value, Recorder};
 pub use sink::{NullSink, Sink, SinkHandle};

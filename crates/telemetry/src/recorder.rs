@@ -281,6 +281,7 @@ impl Recorder {
         } else {
             let mut t = Table::new(vec![
                 "access",
+                "policy",
                 "trigger",
                 "app",
                 "kind",
@@ -293,6 +294,7 @@ impl Recorder {
             for r in &self.resizes {
                 t.row(vec![
                     format!("{}", r.at_access),
+                    r.policy.clone(),
                     r.trigger.clone(),
                     format!("{}", r.asid.raw()),
                     r.kind.name().into(),
@@ -467,6 +469,17 @@ mod tests {
             after: 8,
             window_miss_rate: 0.5,
             goal: 0.25,
+            policy: "paper-algorithm1".into(),
+            inputs: crate::event::ResizeDecisionInputs {
+                window_accesses: 100,
+                window_miss_rate: 0.5,
+                last_miss_rate: 1.0,
+                goal: 0.25,
+                current: 4,
+                last_allocation: 4,
+                max_allocation: 16,
+                free_molecules: 10,
+            },
         };
         rec.record(&Event::Resize(&resize));
         rec

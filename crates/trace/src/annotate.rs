@@ -1,0 +1,154 @@
+//! Phase annotations carried alongside a trace: declared
+//! working-set-size markers a proactive resize policy (Com-CAS-style,
+//! see PAPERS.md) consumes instead of miss-rate feedback.
+//!
+//! A [`PhaseHint`] says "from access `at_access` on, application `asid`
+//! touches about `working_set_bytes` of data". Hints ride next to the
+//! access stream, not inside it — [`MemAccess`] stays a plain 3-field
+//! struct the simulators consume in bulk — and a [`PhaseScript`] merges
+//! them back in replay order. [`footprint_hints`] derives oracle hints
+//! from a trace's observed per-application footprints, which is what the
+//! tournament bench feeds the `proactive-hint` policy.
+
+use crate::access::MemAccess;
+use crate::addr::Asid;
+use std::collections::BTreeMap;
+
+/// One declared working-set phase marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseHint {
+    /// Application the declaration is about.
+    pub asid: Asid,
+    /// Position in the access stream (0 = before the first access) from
+    /// which the declaration holds.
+    pub at_access: u64,
+    /// Declared working-set size in bytes.
+    pub working_set_bytes: u64,
+}
+
+/// An ordered script of phase markers, replayed against an access
+/// counter: call [`pop_due`](Self::pop_due) with the number of accesses
+/// issued so far and deliver every hint it yields (e.g. via
+/// `MolecularCache::note_phase_hint`) before issuing the next access.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseScript {
+    hints: Vec<PhaseHint>,
+    cursor: usize,
+}
+
+impl PhaseScript {
+    /// Builds a script; hints are sorted by position (stable for equal
+    /// positions, so same-position hints replay in insertion order).
+    pub fn new(mut hints: Vec<PhaseHint>) -> Self {
+        hints.sort_by_key(|h| h.at_access);
+        PhaseScript { hints, cursor: 0 }
+    }
+
+    /// Next hint whose position has been reached, if any. Call until
+    /// `None` at each step — multiple hints can share a position.
+    pub fn pop_due(&mut self, accesses_issued: u64) -> Option<PhaseHint> {
+        let hint = *self.hints.get(self.cursor)?;
+        if hint.at_access <= accesses_issued {
+            self.cursor += 1;
+            Some(hint)
+        } else {
+            None
+        }
+    }
+
+    /// Hints not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.hints.len() - self.cursor
+    }
+
+    /// All hints, in replay order.
+    pub fn hints(&self) -> &[PhaseHint] {
+        &self.hints
+    }
+}
+
+/// Derives one oracle hint per application from a finished trace: the
+/// application's true line footprint (distinct `line_size`-aligned
+/// blocks touched), declared at position 0. This is the "compiler knows
+/// the working set" upper bound the proactive policy is scored with.
+pub fn footprint_hints(accesses: &[MemAccess], line_size: u64) -> Vec<PhaseHint> {
+    let line = line_size.max(1);
+    let mut lines: BTreeMap<Asid, std::collections::BTreeSet<u64>> = BTreeMap::new();
+    for a in accesses {
+        lines.entry(a.asid).or_default().insert(a.addr.raw() / line);
+    }
+    lines
+        .into_iter()
+        .map(|(asid, set)| PhaseHint {
+            asid,
+            at_access: 0,
+            working_set_bytes: set.len() as u64 * line,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Address;
+
+    #[test]
+    fn footprint_counts_distinct_lines_per_app() {
+        let a1 = Asid::new(1);
+        let a2 = Asid::new(2);
+        let trace = vec![
+            MemAccess::read(a1, Address::new(0)),
+            MemAccess::read(a1, Address::new(63)), // same 64B line
+            MemAccess::read(a1, Address::new(64)),
+            MemAccess::write(a2, Address::new(4096)),
+        ];
+        let hints = footprint_hints(&trace, 64);
+        assert_eq!(hints.len(), 2);
+        assert_eq!(hints[0].asid, a1);
+        assert_eq!(hints[0].working_set_bytes, 2 * 64);
+        assert_eq!(hints[1].asid, a2);
+        assert_eq!(hints[1].working_set_bytes, 64);
+        assert!(hints.iter().all(|h| h.at_access == 0));
+    }
+
+    #[test]
+    fn script_replays_in_position_order() {
+        let mut script = PhaseScript::new(vec![
+            PhaseHint {
+                asid: Asid::new(2),
+                at_access: 100,
+                working_set_bytes: 1 << 20,
+            },
+            PhaseHint {
+                asid: Asid::new(1),
+                at_access: 0,
+                working_set_bytes: 1 << 16,
+            },
+        ]);
+        assert_eq!(script.remaining(), 2);
+        let first = script.pop_due(0).unwrap();
+        assert_eq!(first.asid, Asid::new(1));
+        assert!(script.pop_due(0).is_none());
+        assert!(script.pop_due(99).is_none());
+        let second = script.pop_due(100).unwrap();
+        assert_eq!(second.asid, Asid::new(2));
+        assert_eq!(script.remaining(), 0);
+        assert!(script.pop_due(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn same_position_hints_all_fire() {
+        let mk = |asid: u16| PhaseHint {
+            asid: Asid::new(asid),
+            at_access: 5,
+            working_set_bytes: 100,
+        };
+        let mut script = PhaseScript::new(vec![mk(1), mk(2), mk(3)]);
+        assert!(script.pop_due(4).is_none());
+        let mut seen = vec![];
+        while let Some(h) = script.pop_due(5) {
+            seen.push(h.asid.raw());
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+}

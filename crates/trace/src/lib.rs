@@ -38,6 +38,7 @@
 
 pub mod access;
 pub mod addr;
+pub mod annotate;
 pub mod din;
 pub mod dist;
 pub mod error;
